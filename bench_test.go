@@ -1,0 +1,316 @@
+package qusim
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Sec. 4). Each benchmark exercises the code path that regenerates the
+// corresponding result; `go run ./cmd/experiments all` prints the full
+// paper-vs-reproduced tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/dist"
+	"qusim/internal/emulate"
+	"qusim/internal/gate"
+	"qusim/internal/kernels"
+	"qusim/internal/par"
+	"qusim/internal/perfmodel"
+	"qusim/internal/schedule"
+	"qusim/internal/statevec"
+)
+
+const benchState = 20 // 2^20 amplitudes = 16 MiB
+
+func benchSupremacy(n, depth int) *circuit.Circuit {
+	r, c := circuit.GridForQubits(n)
+	return circuit.Supremacy(circuit.SupremacyOptions{
+		Rows: r, Cols: c, Depth: depth, Seed: 0, SkipInitialH: true,
+	})
+}
+
+// BenchmarkFig2KernelSteps measures the optimization-step progression of
+// Fig. 2: the same 4-qubit gate through the naive, in-place, split and
+// specialized kernels.
+func BenchmarkFig2KernelSteps(b *testing.B) {
+	u := gate.RandomUnitary(4, randRNG(1))
+	qs := []int{0, 1, 2, 3}
+	for _, v := range kernels.Variants() {
+		b.Run(v.String(), func(b *testing.B) {
+			amps := make([]complex128, 1<<benchState)
+			amps[0] = 1
+			scratch := make([]complex128, len(amps))
+			b.SetBytes(int64(len(amps) * 16 * 2))
+			b.ResetTimer()
+			src, dst := amps, scratch
+			for i := 0; i < b.N; i++ {
+				if v == kernels.Naive {
+					kernels.Apply(v, src, u.Data, qs, dst)
+					src, dst = dst, src
+				} else {
+					kernels.Apply(v, src, u.Data, qs, nil)
+				}
+			}
+			b.ReportMetric(perfmodel.KernelFlops(benchState, 4)/1e9/b.Elapsed().Seconds()*float64(b.N), "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkFig5aScheduling times the scheduler across circuit depths — the
+// pre-computation the paper reports terminates in 1–3 s on a laptop.
+func BenchmarkFig5aScheduling(b *testing.B) {
+	for _, depth := range []int{10, 25, 50} {
+		c := benchSupremacy(42, depth)
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Build(c, schedule.DefaultOptions(30)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5bScheduling sweeps qubit counts at depth 25.
+func BenchmarkFig5bScheduling(b *testing.B) {
+	for _, n := range []int{30, 36, 42, 45, 49} {
+		c := benchSupremacy(n, 25)
+		b.Run(fmt.Sprintf("qubits%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Build(c, schedule.DefaultOptions(30)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6HighLowOrder measures every kernel size on low- vs
+// high-order qubits (the cache-associativity contrast of Fig. 6/9).
+func BenchmarkFig6HighLowOrder(b *testing.B) {
+	for k := 1; k <= 5; k++ {
+		u := gate.RandomUnitary(k, randRNG(int64(k)))
+		for _, order := range []string{"low", "high"} {
+			qs := make([]int, k)
+			for i := range qs {
+				if order == "low" {
+					qs[i] = i
+				} else {
+					qs[i] = benchState - k + i
+				}
+			}
+			b.Run(fmt.Sprintf("k%d/%s", k, order), func(b *testing.B) {
+				amps := make([]complex128, 1<<benchState)
+				amps[0] = 1
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					kernels.Apply(kernels.Specialized, amps, u.Data, qs, nil)
+				}
+				b.ReportMetric(perfmodel.KernelFlops(benchState, k)/1e9/b.Elapsed().Seconds()*float64(b.N), "GFLOPS")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Scaling measures kernel throughput as the worker count
+// doubles (Fig. 7/10 strong scaling).
+func BenchmarkFig7Scaling(b *testing.B) {
+	u := gate.RandomUnitary(4, randRNG(4))
+	qs := []int{0, 1, 2, 3}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			old := par.SetWorkers(workers)
+			defer par.SetWorkers(old)
+			amps := make([]complex128, 1<<benchState)
+			amps[0] = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.Apply(kernels.Specialized, amps, u.Data, qs, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8MultiNode runs a scaled-down distributed simulation across
+// simulated MPI ranks (Fig. 8).
+func BenchmarkFig8MultiNode(b *testing.B) {
+	for _, ranks := range []int{2, 4, 8} {
+		c := benchSupremacy(16, 25)
+		g := 0
+		for 1<<g < ranks {
+			g++
+		}
+		plan, err := schedule.Build(c, schedule.DefaultOptions(16-g))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.Run(plan, dist.Options{Ranks: ranks, Init: dist.InitUniform}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9EdisonKernels is the Edison variant of Fig. 6: kernels on a
+// state sized to stress the last-level cache.
+func BenchmarkFig9EdisonKernels(b *testing.B) {
+	for _, k := range []int{3, 4, 5} {
+		u := gate.RandomUnitary(k, randRNG(int64(90+k)))
+		qs := make([]int, k)
+		for i := range qs {
+			qs[i] = benchState - k + i
+		}
+		b.Run(fmt.Sprintf("k%d-highorder", k), func(b *testing.B) {
+			amps := make([]complex128, 1<<benchState)
+			amps[0] = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.Apply(kernels.Specialized, amps, u.Data, qs, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10SingleWorker is the Edison strong-scaling anchor point: the
+// full single-worker sweep a 1-qubit gate needs.
+func BenchmarkFig10SingleWorker(b *testing.B) {
+	u := gate.H()
+	old := par.SetWorkers(1)
+	defer par.SetWorkers(old)
+	amps := make([]complex128, 1<<benchState)
+	amps[0] = 1
+	b.SetBytes(int64(len(amps) * 32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.Apply(kernels.Specialized, amps, u.Data, []int{0}, nil)
+	}
+}
+
+// BenchmarkTable1Clustering times cluster building for each kmax.
+func BenchmarkTable1Clustering(b *testing.B) {
+	c := benchSupremacy(30, 25)
+	for _, kmax := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("kmax%d", kmax), func(b *testing.B) {
+			opts := schedule.DefaultOptions(30)
+			opts.KMax = kmax
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Build(c, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2FullRuns runs the scaled-down Table 2 comparison: the
+// scheduled simulator vs the per-gate scheme, end to end.
+func BenchmarkTable2FullRuns(b *testing.B) {
+	c := benchSupremacy(16, 25)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scheduled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.Run(plan, dist.Options{Ranks: 8, Init: dist.InitUniform}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.RunBaseline(c, dist.BaselineOptions{
+				Ranks: 8, Init: dist.InitUniform, Specialize2Q: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSpecialization compares scheduling with and without
+// gate specialization (Sec. 3.5 ablation).
+func BenchmarkAblationSpecialization(b *testing.B) {
+	c := benchSupremacy(36, 25)
+	for _, spec := range []bool{true, false} {
+		b.Run(fmt.Sprintf("specialize=%v", spec), func(b *testing.B) {
+			opts := schedule.DefaultOptions(30)
+			opts.SpecializeDiagonal2Q = spec
+			for i := 0; i < b.N; i++ {
+				if _, err := schedule.Build(c, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFusion compares single-node execution with and without
+// gate fusion (the Sec. 3.3 motivation for k-qubit kernels).
+func BenchmarkAblationFusion(b *testing.B) {
+	c := benchSupremacy(benchState, 25)
+	for _, fusion := range []bool{true, false} {
+		opts := schedule.DefaultOptions(benchState)
+		opts.Clustering = fusion
+		plan, err := schedule.Build(c, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("fusion=%v", fusion), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := statevec.NewUniform(benchState)
+				if err := plan.Run(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDiagonalFastPath measures the specialized diagonal sweep
+// against the dense 2-qubit kernel applying the same CZ.
+func BenchmarkAblationDiagonalFastPath(b *testing.B) {
+	b.Run("diagonal", func(b *testing.B) {
+		v := statevec.NewUniform(benchState)
+		for i := 0; i < b.N; i++ {
+			v.ApplyCZ(3, 11)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		v := statevec.NewUniform(benchState)
+		cz := gate.CZ()
+		for i := 0; i < b.N; i++ {
+			v.ApplyDense(cz, 3, 11)
+		}
+	})
+}
+
+func randRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// BenchmarkEmulationVsGates reproduces the related-work comparison ([7]):
+// FFT-based QFT emulation vs gate-by-gate simulation of the QFT circuit.
+// Emulation is asymptotically cheaper but, as the paper notes, inapplicable
+// to supremacy circuits.
+func BenchmarkEmulationVsGates(b *testing.B) {
+	n := 18
+	c := circuit.QFT(n)
+	b.Run("gates", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := statevec.NewUniform(n)
+			for j := range c.Gates {
+				g := &c.Gates[j]
+				v.Apply(g.Matrix(), g.Qubits...)
+			}
+		}
+	})
+	b.Run("emulated-fft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := statevec.NewUniform(n)
+			emulate.QFT(v, false)
+		}
+	})
+}

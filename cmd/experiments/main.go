@@ -1,0 +1,70 @@
+// Command experiments regenerates the tables and figures of Häner &
+// Steiger, SC'17 (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments list             # list available experiments
+//	experiments all [-quick]     # run everything
+//	experiments fig5a table1 …   # run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qusim/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink state sizes and sweeps for a fast run")
+	seed := flag.Int64("seed", 0, "circuit-generator seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+
+	switch args[0] {
+	case "list":
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		for _, e := range harness.All() {
+			fmt.Printf("\n########## %s: %s ##########\n", e.ID, e.Title)
+			if err := e.Run(os.Stdout, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for _, id := range args {
+		e, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try 'experiments list')\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n########## %s: %s ##########\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: experiments [-quick] [-seed N] <list | all | id...>
+
+Regenerates the paper's tables and figures. Available ids:
+`)
+	for _, e := range harness.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.ID, e.Title)
+	}
+}

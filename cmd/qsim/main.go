@@ -1,0 +1,174 @@
+// Command qsim simulates quantum circuits — single-node or across simulated
+// MPI ranks with the paper's scheduling optimizations.
+//
+// Examples:
+//
+//	qsim -qubits 20 -depth 25                 # supremacy circuit, 1 rank
+//	qsim -qubits 24 -depth 25 -ranks 8        # distributed, 8 ranks
+//	qsim -circuit qft -qubits 20              # QFT
+//	qsim -file circ.txt -ranks 4 -baseline    # per-gate reference scheme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+
+	"qusim/internal/circuit"
+	"qusim/internal/dist"
+	"qusim/internal/kernels"
+	"qusim/internal/par"
+	"qusim/internal/schedule"
+)
+
+func main() {
+	var (
+		kind     = flag.String("circuit", "supremacy", "circuit family: supremacy, qft, ghz, bv, random")
+		qubits   = flag.Int("qubits", 20, "number of qubits")
+		depth    = flag.Int("depth", 25, "supremacy circuit depth (clock cycles after the Hadamard layer)")
+		seed     = flag.Int64("seed", 0, "random seed")
+		ranks    = flag.Int("ranks", 1, "simulated MPI ranks (power of two)")
+		kmax     = flag.Int("kmax", 4, "maximum fused-gate size")
+		baseline = flag.Bool("baseline", false, "use the per-gate scheme of [5] instead of scheduling")
+		spec1q   = flag.Bool("spec1q", false, "specialize diagonal 1-qubit gates (median-hard mode)")
+		file     = flag.String("file", "", "read circuit from file (GRCS-like text format)")
+		planFile = flag.String("plan", "", "execute a plan saved by qsched -save instead of scheduling")
+		tune     = flag.Bool("tune", false, "run the kernel autotuner first")
+		workers  = flag.Int("workers", 0, "parallel workers per rank (0 = GOMAXPROCS)")
+		shots    = flag.Int("sample", 0, "draw this many samples from the output distribution")
+		profile  = flag.Bool("profile", false, "print a per-op-kind time breakdown")
+		verbose  = flag.Bool("v", false, "print the plan summary")
+	)
+	flag.Parse()
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
+
+	circ, err := buildCircuit(*kind, *qubits, *depth, *seed, *file)
+	if err != nil {
+		fatal(err)
+	}
+	if *ranks < 1 || *ranks&(*ranks-1) != 0 {
+		fatal(fmt.Errorf("ranks must be a power of two, got %d", *ranks))
+	}
+	if *tune {
+		fmt.Println("autotuning kernels...")
+		res := kernels.Tune(5, 20, 2)
+		for _, t := range res.Timings {
+			if t.Best {
+				fmt.Printf("  k=%d -> %s (%.2f ms/sweep)\n", t.K, t.Variant, t.NsPerApply/1e6)
+			}
+		}
+	}
+
+	if *baseline {
+		res, err := dist.RunBaseline(circ, dist.BaselineOptions{
+			Ranks: *ranks, Init: dist.InitUniform, Specialize2Q: true, Specialize1Q: *spec1q,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report(circ, res, nil)
+		return
+	}
+
+	var plan *schedule.Plan
+	if *planFile != "" {
+		f, err := os.Open(*planFile)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err = schedule.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		g := bits.TrailingZeros(uint(*ranks))
+		opts := schedule.DefaultOptions(circ.N - g)
+		opts.KMax = *kmax
+		opts.SpecializeDiagonal1Q = *spec1q
+		var err error
+		plan, err = schedule.Build(circ, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		fmt.Print(plan.Summary())
+	}
+	res, err := dist.Run(plan, dist.Options{
+		Ranks: *ranks, Init: dist.InitUniform,
+		SampleShots: *shots, SampleSeed: *seed, Profile: *profile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report(circ, res, plan)
+	if *profile {
+		fmt.Println("profile (slowest rank):")
+		for _, e := range res.Profile {
+			if e.Ops == 0 {
+				continue
+			}
+			fmt.Printf("  %-8s %4d ops  %8.3fs\n", e.Kind, e.Ops, e.Duration.Seconds())
+		}
+	}
+	if *shots > 0 {
+		fmt.Printf("samples (%d shots, first 10):\n", *shots)
+		for i, b := range res.Samples {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("  |%0*b⟩\n", circ.N, b)
+		}
+	}
+}
+
+func buildCircuit(kind string, qubits, depth int, seed int64, file string) (*circuit.Circuit, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return circuit.ReadText(f)
+	}
+	switch kind {
+	case "supremacy":
+		r, c := circuit.GridForQubits(qubits)
+		return circuit.Supremacy(circuit.SupremacyOptions{
+			Rows: r, Cols: c, Depth: depth, Seed: seed, SkipInitialH: true, OmitFinalCZs: true,
+		}), nil
+	case "qft":
+		return circuit.QFT(qubits), nil
+	case "ghz":
+		return circuit.GHZ(qubits), nil
+	case "bv":
+		return circuit.BernsteinVazirani(qubits, int(seed)%(1<<qubits)), nil
+	case "random":
+		return circuit.RandomCircuit(qubits, 12*qubits, seed), nil
+	}
+	return nil, fmt.Errorf("unknown circuit family %q (want supremacy, qft, ghz, bv or random)", kind)
+}
+
+func report(c *circuit.Circuit, res *dist.Result, plan *schedule.Plan) {
+	fmt.Printf("circuit: %d qubits, %d gates\n", c.N, len(c.Gates))
+	fmt.Printf("ranks:   %d (2^%d amplitudes each)\n", res.Ranks, res.LocalQubits)
+	if plan != nil {
+		fmt.Printf("plan:    %d stages, %d swaps, %d clusters (%.1f gates/cluster), %d diag ops\n",
+			plan.Stats.Stages, plan.Stats.Swaps, plan.Stats.Clusters,
+			plan.Stats.GatesPerCluster, plan.Stats.DiagonalOps)
+	}
+	fmt.Printf("result:  norm=%.12f entropy=%.6f nats\n", res.Norm, res.Entropy)
+	fmt.Printf("time:    %.3fs total, %.3fs comm (%.1f%%)\n",
+		res.Elapsed.Seconds(), res.CommElapsed.Seconds(),
+		100*res.CommElapsed.Seconds()/res.Elapsed.Seconds())
+	fmt.Printf("comm:    %d steps, %.1f MB\n", res.CommSteps, float64(res.CommBytes)/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qsim: %v\n", err)
+	os.Exit(1)
+}

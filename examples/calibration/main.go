@@ -1,0 +1,74 @@
+// Calibration: the paper's motivating use case (Sec. 1) — using the
+// simulator's ideal output probabilities to benchmark a noisy quantum
+// device via cross-entropy benchmarking (Boixo et al.). A simulated
+// "device" samples from a depolarized version of the true distribution;
+// the XEB estimators recover its fidelity.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qusim"
+	"qusim/internal/xeb"
+)
+
+func main() {
+	const n = 16
+	rows, cols := qusim.GridForQubits(n)
+	c := qusim.Supremacy(qusim.SupremacyOptions{Rows: rows, Cols: cols, Depth: 25, Seed: 3})
+
+	// Ideal simulation: the reference distribution a perfect device would
+	// sample from.
+	st := qusim.NewState(n)
+	qusim.Simulate(c, st)
+	probs := st.Probabilities()
+
+	fmt.Printf("%d-qubit depth-25 supremacy circuit (%d gates)\n", n, len(c.Gates))
+	fmt.Printf("output entropy:        %.4f nats\n", st.Entropy())
+	fmt.Printf("Porter-Thomas value:   %.4f nats\n", xeb.PorterThomasEntropy(n))
+	fmt.Printf("KS distance to e^-x:   %.4f (chaotic regime when << 1)\n\n", xeb.PorterThomasKS(probs))
+
+	// A family of "devices" with decreasing fidelity: each samples from
+	// α·p_ideal + (1−α)·uniform.
+	rng := rand.New(rand.NewSource(7))
+	shots := 50000
+	fmt.Printf("%-16s %-18s %-12s\n", "true fidelity", "cross-entropy est.", "linear XEB")
+	for _, alpha := range []float64{1.0, 0.8, 0.5, 0.2, 0.0} {
+		noisy := xeb.DepolarizedProbs(probs, alpha)
+		samples := sample(noisy, shots, rng)
+		ce, err := xeb.CrossEntropy(probs, samples)
+		if err != nil {
+			panic(err)
+		}
+		lin, err := xeb.LinearXEB(n, probs, samples)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16.2f %-18.3f %-12.3f\n", alpha, xeb.FidelityFromCrossEntropy(n, ce), lin)
+	}
+	fmt.Println("\nboth estimators recover the device fidelity from samples alone —")
+	fmt.Println("this is what the 45-qubit simulation enables for real 40+ qubit devices.")
+}
+
+func sample(probs []float64, shots int, rng *rand.Rand) []int {
+	cdf := make([]float64, len(probs)+1)
+	for i, p := range probs {
+		cdf[i+1] = cdf[i] + p
+	}
+	out := make([]int, shots)
+	for s := range out {
+		r := rng.Float64() * cdf[len(cdf)-1]
+		lo, hi := 0, len(probs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid+1] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[s] = lo
+	}
+	return out
+}

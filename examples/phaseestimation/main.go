@@ -1,0 +1,35 @@
+// Phase estimation: estimate the eigenphase of a phase gate with the
+// textbook QPE circuit, comparing the statistical error across counting-
+// register sizes — a standard verification workload for the simulator
+// (Sec. 1's "verifying quantum algorithms").
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"qusim"
+	"qusim/internal/circuit"
+)
+
+func main() {
+	phi := 0.15625 // = 5/32: exactly representable with ≥5 counting qubits
+	fmt.Printf("estimating eigenphase φ = %v of diag(1, e^{2πiφ})\n\n", phi)
+	fmt.Printf("%-16s %-14s %-14s %-12s\n", "counting qubits", "estimate", "peak prob", "|error|")
+	for t := 3; t <= 8; t++ {
+		c := circuit.PhaseEstimation(t, phi)
+		st := qusim.NewState(c.N)
+		qusim.Simulate(c, st)
+		best, bestP := 0, 0.0
+		for b := 0; b < 1<<t; b++ {
+			p := st.Probability(b | 1<<t)
+			if p > bestP {
+				best, bestP = b, p
+			}
+		}
+		est := float64(best) / math.Pow(2, float64(t))
+		fmt.Printf("%-16d %-14.6f %-14.4f %-12.2e\n", t, est, bestP, math.Abs(est-phi))
+	}
+	fmt.Println("\nonce 2^t resolves φ exactly (t ≥ 5), the peak probability reaches 1")
+	fmt.Println("and the error vanishes — the textbook QPE convergence.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: build a small circuit with the public API, simulate it on a
+// single node, and inspect amplitudes, probabilities and entropy.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qusim"
+)
+
+func main() {
+	// A 3-qubit GHZ state: H on qubit 0, then a CNOT chain.
+	c := qusim.NewCircuit(3)
+	c.Append(qusim.H(0))
+	c.Append(qusim.CNOT(0, 1)) // control 0, target 1
+	c.Append(qusim.CNOT(1, 2))
+
+	st := qusim.NewState(3)
+	qusim.Simulate(c, st)
+
+	fmt.Println("GHZ state (|000⟩ + |111⟩)/√2:")
+	for b := 0; b < st.Len(); b++ {
+		if p := st.Probability(b); p > 1e-12 {
+			fmt.Printf("  |%03b⟩: amplitude %.4f, probability %.4f\n", b, st.Amplitude(b), p)
+		}
+	}
+	fmt.Printf("norm: %.12f\n\n", st.Norm())
+
+	// A deeper random circuit: measure the output distribution's entropy
+	// and draw samples.
+	sup := qusim.Supremacy(qusim.SupremacyOptions{Rows: 4, Cols: 3, Depth: 16, Seed: 7})
+	st2 := qusim.NewState(sup.N)
+	qusim.Simulate(sup, st2)
+	fmt.Printf("12-qubit supremacy circuit: %d gates, output entropy %.4f nats\n",
+		len(sup.Gates), st2.Entropy())
+
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println("five samples from the output distribution:")
+	for _, s := range st2.Sample(rng, 5) {
+		fmt.Printf("  |%012b⟩ (p = %.2e)\n", s, st2.Probability(s))
+	}
+}

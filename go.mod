@@ -1,0 +1,3 @@
+module qusim
+
+go 1.22

@@ -1,0 +1,122 @@
+package circuit
+
+import (
+	"math"
+
+	"qusim/internal/gate"
+)
+
+// Additional algorithm circuits used by examples and cross-subsystem tests
+// (the "verifying quantum algorithms" use case of Sec. 1).
+
+// BernsteinVazirani returns the circuit that recovers the n-bit secret s
+// with one oracle query. The oracle |x⟩ → (−1)^{s·x}|x⟩ is expressed with
+// Z gates (all diagonal — the circuit communicates only for the Hadamard
+// layers when distributed).
+func BernsteinVazirani(n int, secret int) *Circuit {
+	c := NewCircuit(n)
+	c.Name = "bernstein-vazirani"
+	for q := 0; q < n; q++ {
+		c.Append(NewH(q))
+	}
+	for q := 0; q < n; q++ {
+		if secret&(1<<q) != 0 {
+			c.Append(NewZ(q))
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(NewH(q))
+	}
+	return c
+}
+
+// PhaseEstimation returns the textbook quantum phase-estimation circuit
+// estimating the eigenphase φ (in turns, 0 ≤ φ < 1) of the phase gate
+// diag(1, e^{2πiφ}) using t counting qubits. The eigenstate qubit is qubit
+// t (prepared in |1⟩); counting qubits 0…t−1 hold the estimate, most
+// significant at t−1. With φ = k/2^t the output is exactly |k⟩.
+func PhaseEstimation(t int, phi float64) *Circuit {
+	n := t + 1
+	c := NewCircuit(n)
+	c.Name = "phase-estimation"
+	target := t
+	c.Append(NewX(target)) // eigenstate |1⟩
+	for q := 0; q < t; q++ {
+		c.Append(NewH(q))
+	}
+	// Controlled-U^{2^q}: a controlled phase of 2π·φ·2^q between counting
+	// qubit q and the target. The register then holds the Fourier
+	// transform of |k⟩ (φ = k/2^t).
+	for q := 0; q < t; q++ {
+		theta := 2 * math.Pi * phi * math.Pow(2, float64(q))
+		c.Append(NewCPhase(q, target, theta))
+	}
+	// True inverse DFT on the counting register: our QFT circuit computes
+	// the DFT up to a bit reversal, so invert with a reversal followed by
+	// the reversed-and-conjugated gate sequence.
+	for i, j := 0, t-1; i < j; i, j = i+1, j-1 {
+		c.Append(NewSwap(i, j))
+	}
+	for i := 0; i < t; i++ {
+		for j := i - 1; j >= 0; j-- {
+			c.Append(NewCPhase(i, j, -math.Pi/float64(int(1)<<uint(i-j))))
+		}
+		c.Append(NewH(i))
+	}
+	return c
+}
+
+// RandomCircuit returns a generic random circuit mixing dense 1-qubit
+// rotations and CZ/CNOT entanglers — a workload without the supremacy
+// circuits' anti-optimization structure, for scheduler stress tests.
+func RandomCircuit(n, gates int, seed int64) *Circuit {
+	c := NewCircuit(n)
+	c.Name = "random"
+	rng := newPCG(seed)
+	for i := 0; i < gates; i++ {
+		switch rng.intn(5) {
+		case 0:
+			c.Append(NewUnitary(gate.Rx(rng.float()*2*math.Pi), rng.intn(n)))
+		case 1:
+			c.Append(NewUnitary(gate.Ry(rng.float()*2*math.Pi), rng.intn(n)))
+		case 2:
+			c.Append(NewRz(rng.intn(n), rng.float()*2*math.Pi))
+		case 3:
+			a := rng.intn(n)
+			b := rng.intn(n)
+			for b == a {
+				b = rng.intn(n)
+			}
+			c.Append(NewCZ(a, b))
+		case 4:
+			a := rng.intn(n)
+			b := rng.intn(n)
+			for b == a {
+				b = rng.intn(n)
+			}
+			c.Append(NewCNOT(a, b))
+		}
+	}
+	return c
+}
+
+// newPCG is a tiny deterministic generator so RandomCircuit does not
+// depend on math/rand's global state evolution across Go versions.
+type pcg struct{ state uint64 }
+
+func newPCG(seed int64) *pcg {
+	return &pcg{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
+}
+
+func (p *pcg) next() uint64 {
+	p.state = p.state*6364136223846793005 + 1442695040888963407
+	x := p.state
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func (p *pcg) intn(n int) int { return int(p.next() % uint64(n)) }
+
+func (p *pcg) float() float64 { return float64(p.next()>>11) / float64(1<<53) }

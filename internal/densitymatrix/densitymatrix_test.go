@@ -1,0 +1,213 @@
+package densitymatrix
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/gate"
+	"qusim/internal/noise"
+	"qusim/internal/statevec"
+)
+
+func TestPureStateEvolutionMatchesStatevec(t *testing.T) {
+	n := 5
+	c := circuit.Supremacy(circuit.SupremacyOptions{Rows: 5, Cols: 1, Depth: 10, Seed: 1})
+	v := statevec.New(n)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		v.Apply(g.Matrix(), g.Qubits...)
+	}
+	m := New(n)
+	m.ApplyCircuit(c)
+	want := FromPure(v)
+	var maxd float64
+	for i := range m.Vec {
+		if d := cmplx.Abs(m.Vec[i] - want.Vec[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-10 {
+		t.Errorf("density matrix evolution deviates from |ψ⟩⟨ψ|: %g", maxd)
+	}
+	if math.Abs(m.Purity()-1) > 1e-10 {
+		t.Errorf("pure evolution lost purity: %v", m.Purity())
+	}
+}
+
+func TestTracePreservedUnderChannels(t *testing.T) {
+	m := New(3)
+	m.Apply(gate.H(), 0)
+	m.Apply(gate.CNOT(), 1, 0)
+	for _, ch := range []noise.Channel{noise.Depolarizing(0.1), noise.Dephasing(0.2), noise.BitFlip(0.3)} {
+		m.ApplyChannel(ch, 1)
+		if d := cmplx.Abs(m.Trace() - 1); d > 1e-10 {
+			t.Errorf("%s: trace drifted to %v", ch.Name, m.Trace())
+		}
+	}
+}
+
+func TestDepolarizingDrivesToMaximallyMixed(t *testing.T) {
+	// Repeated full-strength depolarizing on every qubit sends any state
+	// to 1/2^n.
+	n := 3
+	m := New(n)
+	m.Apply(gate.H(), 0)
+	m.Apply(gate.CNOT(), 1, 0)
+	m.Apply(gate.CNOT(), 2, 1)
+	for iter := 0; iter < 60; iter++ {
+		for q := 0; q < n; q++ {
+			m.ApplyChannel(noise.Depolarizing(0.75), q)
+		}
+	}
+	wantPurity := 1 / float64(int(1)<<n)
+	if math.Abs(m.Purity()-wantPurity) > 1e-6 {
+		t.Errorf("purity %v, want %v (maximally mixed)", m.Purity(), wantPurity)
+	}
+	for i, p := range m.Probabilities() {
+		if math.Abs(p-1/8.0) > 1e-6 {
+			t.Errorf("P(%d) = %v, want 1/8", i, p)
+		}
+	}
+}
+
+func TestDephasingKillsCoherencesKeepsPopulations(t *testing.T) {
+	m := New(1)
+	m.Apply(gate.H(), 0)
+	// ρ = [[1/2,1/2],[1/2,1/2]]; full dephasing (p=1/2) zeroes the
+	// off-diagonals: Z with prob 1/2 → ρ' = (ρ + ZρZ)/2.
+	m.ApplyChannel(noise.Dephasing(0.5), 0)
+	if cmplx.Abs(m.At(0, 1)) > 1e-12 || cmplx.Abs(m.At(1, 0)) > 1e-12 {
+		t.Errorf("coherences survived full dephasing: %v, %v", m.At(0, 1), m.At(1, 0))
+	}
+	if cmplx.Abs(m.At(0, 0)-0.5) > 1e-12 || cmplx.Abs(m.At(1, 1)-0.5) > 1e-12 {
+		t.Errorf("populations changed: %v, %v", m.At(0, 0), m.At(1, 1))
+	}
+}
+
+func TestAmplitudeDamping(t *testing.T) {
+	m := New(1)
+	m.Apply(gate.X(), 0) // |1⟩
+	gamma := 0.3
+	m.ApplyKraus(AmplitudeDamping(gamma), 0)
+	if cmplx.Abs(m.At(1, 1)-complex(0.7, 0)) > 1e-12 {
+		t.Errorf("P(1) = %v, want 0.7", m.At(1, 1))
+	}
+	if cmplx.Abs(m.At(0, 0)-complex(0.3, 0)) > 1e-12 {
+		t.Errorf("P(0) = %v, want 0.3", m.At(0, 0))
+	}
+	// Damping the ground state is a no-op.
+	g := New(1)
+	g.ApplyKraus(AmplitudeDamping(0.9), 0)
+	if cmplx.Abs(g.At(0, 0)-1) > 1e-12 {
+		t.Errorf("ground state decayed: %v", g.At(0, 0))
+	}
+}
+
+func TestKrausValidation(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-trace-preserving Kraus set")
+		}
+	}()
+	m.ApplyKraus([]gate.Matrix{gate.H().Scale(0.5)}, 0)
+}
+
+// TestTrajectoriesConvergeToExactChannel is the headline validation: the
+// Monte Carlo noise engine must converge to the exact density-matrix
+// evolution, in both output distribution and fidelity.
+func TestTrajectoriesConvergeToExactChannel(t *testing.T) {
+	n := 6
+	r, cgrid := circuit.GridForQubits(n)
+	c := circuit.Supremacy(circuit.SupremacyOptions{Rows: r, Cols: cgrid, Depth: 10, Seed: 7})
+	ch := noise.Depolarizing(0.01)
+
+	exact, err := RunNoisy(c, ch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	mc, err := noise.Run(c, ch, 600, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactProbs := exact.Probabilities()
+	var maxd float64
+	for i := range exactProbs {
+		if d := math.Abs(exactProbs[i] - mc.MeanProbs[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 0.02 {
+		t.Errorf("trajectory-averaged probabilities deviate from exact channel: max %g", maxd)
+	}
+
+	ideal := statevec.New(n)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		ideal.Apply(g.Matrix(), g.Qubits...)
+	}
+	exactF := exact.Fidelity(ideal)
+	if math.Abs(exactF-mc.MeanFidelity) > 0.05 {
+		t.Errorf("fidelity: exact channel %v vs trajectories %v", exactF, mc.MeanFidelity)
+	}
+}
+
+func TestFidelityPureAgainstItself(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := statevec.New(4)
+	for i := 0; i < 6; i++ {
+		v.Apply(gate.RandomUnitary(1, rng), rng.Intn(4))
+	}
+	m := FromPure(v)
+	if f := m.Fidelity(v); math.Abs(f-1) > 1e-10 {
+		t.Errorf("⟨ψ|ρ|ψ⟩ = %v for ρ = |ψ⟩⟨ψ|", f)
+	}
+}
+
+// TestJumpTrajectoriesConvergeToExactDamping validates the quantum-jump
+// method (state-dependent branch probabilities) against the exact Kraus
+// evolution for amplitude damping — a channel stochastic Pauli insertion
+// cannot express.
+func TestJumpTrajectoriesConvergeToExactDamping(t *testing.T) {
+	n := 4
+	c := circuit.NewCircuit(n)
+	// An entangling circuit with damping-sensitive population.
+	c.Append(circuit.NewH(0))
+	c.Append(circuit.NewCNOT(0, 1))
+	c.Append(circuit.NewCNOT(1, 2))
+	c.Append(circuit.NewXHalf(3))
+	c.Append(circuit.NewCZ(2, 3))
+	c.Append(circuit.NewYHalf(0))
+	gamma := 0.15
+
+	// Exact channel evolution.
+	exact := New(n)
+	kraus := AmplitudeDamping(gamma)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		exact.Apply(g.Matrix(), g.Qubits...)
+		for _, q := range g.Qubits {
+			exact.ApplyKraus(kraus, q)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(20))
+	mc, err := noise.RunJumps(c, noise.AmplitudeDampingChannel(gamma), 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactProbs := exact.Probabilities()
+	var maxd float64
+	for i := range exactProbs {
+		if d := math.Abs(exactProbs[i] - mc.MeanProbs[i]); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 0.03 {
+		t.Errorf("jump trajectories deviate from exact damping channel: max %g", maxd)
+	}
+}

@@ -1,0 +1,322 @@
+// Package dist executes scheduled plans across 2^g simulated MPI ranks —
+// the multi-node layer of Sec. 3.4–3.5 of Häner & Steiger, SC'17. Each rank
+// owns 2^l amplitudes; non-diagonal gates run through the local kernels,
+// diagonal gates on global qubits run via specialization without
+// communication, and global-to-local swaps run as (group-)all-to-alls.
+//
+// It also implements the per-gate baseline scheme of [19]/[5] — pairwise
+// half-vector exchanges for every dense gate on a global qubit — used by
+// the Table 2 speedup comparison.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"qusim/internal/kernels"
+	"qusim/internal/mpi"
+	"qusim/internal/schedule"
+	"qusim/internal/statevec"
+)
+
+// InitState selects the initial state of a run.
+type InitState int
+
+const (
+	// InitZero starts in |0…0⟩.
+	InitZero InitState = iota
+	// InitUniform starts in the uniform superposition — the direct
+	// initialization that replaces the supremacy circuits' first Hadamard
+	// cycle (Sec. 3.6).
+	InitUniform
+)
+
+// Result aggregates a distributed run.
+type Result struct {
+	Ranks       int
+	LocalQubits int
+	Norm        float64
+	Entropy     float64 // Shannon entropy of the output distribution, nats
+
+	CommSteps int   // collective communication steps
+	CommBytes int64 // payload bytes crossing rank boundaries
+
+	Elapsed     time.Duration // wall time of the slowest rank
+	CommElapsed time.Duration // wall time spent in communication (max rank)
+
+	// Amplitudes holds the gathered full state when GatherState was set
+	// (index layout: rank bits are the top g bits — location p ≥ l is rank
+	// bit p−l).
+	Amplitudes []complex128
+
+	// Samples holds SampleShots logical basis states drawn from the output
+	// distribution (already translated back to qubit order).
+	Samples []int
+
+	// Profile holds the per-op-kind time breakdown when Options.Profile
+	// was set, ordered by kind name.
+	Profile []ProfileEntry
+}
+
+// Options configures Run.
+type Options struct {
+	Ranks int // power of two ≥ 1
+	Init  InitState
+	// GatherState collects the full 2^n state into Result.Amplitudes
+	// (testing/verification only — defeats the point of distribution).
+	GatherState bool
+	// Variant overrides the gate kernel used on each rank (default Auto).
+	Variant kernels.Variant
+	// SampleShots draws that many basis states from the output
+	// distribution without gathering the state: ranks share only their
+	// total probability weights, then sample locally. Results land in
+	// Result.Samples as logical basis states (qubit q = bit q).
+	SampleShots int
+	// SampleSeed seeds the distributed sampler.
+	SampleSeed int64
+	// Profile collects a per-op-kind execution profile into
+	// Result.Profile — how the paper's "time spent in communication and
+	// synchronization is 78%" breakdowns are measured.
+	Profile bool
+}
+
+// ProfileEntry aggregates wall time for one op kind (on the slowest rank).
+type ProfileEntry struct {
+	Kind     string
+	Ops      int
+	Duration time.Duration
+}
+
+// Run executes a plan produced by schedule.Build. plan.L must equal
+// n − log2(Ranks).
+func Run(plan *schedule.Plan, opts Options) (*Result, error) {
+	ranks := opts.Ranks
+	if ranks < 1 || ranks&(ranks-1) != 0 {
+		return nil, fmt.Errorf("dist: rank count %d is not a power of two", ranks)
+	}
+	g := bits.TrailingZeros(uint(ranks))
+	if plan.N-plan.L != g && !(ranks == 1 && plan.L >= plan.N) {
+		return nil, fmt.Errorf("dist: plan has %d global qubits, world provides %d", plan.N-plan.L, g)
+	}
+	l := plan.N - g
+	localLen := 1 << l
+
+	res := &Result{Ranks: ranks, LocalQubits: l}
+	if opts.GatherState {
+		res.Amplitudes = make([]complex128, 1<<plan.N)
+	}
+	w := mpi.NewWorld(ranks)
+	var mu sync.Mutex
+
+	err := w.Run(func(c *mpi.Comm) error {
+		local := make([]complex128, localLen)
+		scratch := make([]complex128, localLen)
+		switch opts.Init {
+		case InitZero:
+			if c.Rank() == 0 {
+				local[0] = 1
+			}
+		case InitUniform:
+			a := complex(math.Pow(2, -float64(plan.N)/2), 0)
+			for i := range local {
+				local[i] = a
+			}
+		}
+		start := time.Now()
+		var commTime time.Duration
+		var profDur [4]time.Duration
+		var profOps [4]int
+
+		for i := range plan.Ops {
+			op := &plan.Ops[i]
+			t0 := time.Now()
+			switch op.Kind {
+			case schedule.OpCluster:
+				out := kernels.Apply(opts.Variant, local, op.Matrix.Data, op.Positions, scratch)
+				if &out[0] != &local[0] {
+					local, scratch = out, local
+				}
+			case schedule.OpDiagonal:
+				applyDiagonal(local, op, l, c.Rank())
+			case schedule.OpLocalPerm:
+				sv := statevec.FromAmplitudes(local)
+				sv.PermuteBits(op.Perm)
+			case schedule.OpSwap:
+				local, scratch = swapGlobalLocal(c, op, local, scratch, l)
+				commTime += time.Since(t0)
+			default:
+				return fmt.Errorf("dist: unknown op kind %v", op.Kind)
+			}
+			if opts.Profile {
+				profDur[op.Kind] += time.Since(t0)
+				profOps[op.Kind]++
+			}
+		}
+
+		// Final reductions (norm + entropy), as in the Edison entropy run.
+		t0 := time.Now()
+		var localNorm, ent float64
+		for _, a := range local {
+			p := real(a)*real(a) + imag(a)*imag(a)
+			localNorm += p
+			if p > 0 {
+				ent -= p * math.Log(p)
+			}
+		}
+		norm := c.AllreduceSum(localNorm)
+		ent = c.AllreduceSum(ent)
+		var samples []int
+		if opts.SampleShots > 0 {
+			samples = sampleLocal(c, plan, local, localNorm, l, opts)
+		}
+		commTime += time.Since(t0)
+		elapsed := time.Since(start)
+
+		mu.Lock()
+		res.Norm = norm
+		res.Entropy = ent
+		if elapsed > res.Elapsed {
+			res.Elapsed = elapsed
+		}
+		if commTime > res.CommElapsed {
+			res.CommElapsed = commTime
+		}
+		if opts.GatherState {
+			copy(res.Amplitudes[c.Rank()<<l:], local)
+		}
+		if samples != nil {
+			if res.Samples == nil {
+				res.Samples = make([]int, opts.SampleShots)
+			}
+			for s, b := range samples {
+				if b >= 0 {
+					res.Samples[s] = b
+				}
+			}
+		}
+		if opts.Profile {
+			if res.Profile == nil {
+				res.Profile = make([]ProfileEntry, 4)
+				for k := schedule.OpCluster; k <= schedule.OpSwap; k++ {
+					res.Profile[k].Kind = k.String()
+				}
+			}
+			for k := range profDur {
+				res.Profile[k].Ops = profOps[k]
+				if profDur[k] > res.Profile[k].Duration {
+					res.Profile[k].Duration = profDur[k]
+				}
+			}
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CommSteps = int(w.Traffic.Steps.Load())
+	res.CommBytes = w.Traffic.Bytes.Load()
+	return res, nil
+}
+
+// sampleLocal implements distributed sampling: every rank shares only its
+// total probability weight; a shared-seed RNG assigns each shot to a rank
+// by weight (identically on every rank, no communication); the owning rank
+// then draws the in-rank index from its local distribution. The returned
+// slice has one entry per shot: the logical basis state for shots this
+// rank owns, −1 otherwise.
+func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm float64, l int, opts Options) []int {
+	weights := c.AllgatherFloat64(localNorm)
+	prefix := make([]float64, len(weights)+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	total := prefix[len(prefix)-1]
+	shotRng := rand.New(rand.NewSource(opts.SampleSeed))
+	out := make([]int, opts.SampleShots)
+	var mine []int
+	for s := range out {
+		out[s] = -1
+		u := shotRng.Float64() * total
+		r := sort.SearchFloat64s(prefix[1:], u)
+		if r >= len(weights) {
+			r = len(weights) - 1
+		}
+		if r == c.Rank() {
+			mine = append(mine, s)
+		}
+	}
+	if len(mine) == 0 {
+		return out
+	}
+	// Local cumulative distribution, built once.
+	cdf := make([]float64, len(local)+1)
+	for i, a := range local {
+		cdf[i+1] = cdf[i] + real(a)*real(a) + imag(a)*imag(a)
+	}
+	localRng := rand.New(rand.NewSource(opts.SampleSeed*31 + int64(c.Rank()) + 1))
+	for _, s := range mine {
+		u := localRng.Float64() * cdf[len(cdf)-1]
+		idx := sort.SearchFloat64s(cdf[1:], u)
+		if idx >= len(local) {
+			idx = len(local) - 1
+		}
+		out[s] = plan.LogicalIndex(c.Rank()<<l | idx)
+	}
+	return out
+}
+
+// applyDiagonal executes a diagonal op whose positions may include global
+// locations: the rank's bits select the sub-diagonal, and the local part
+// runs through the diagonal kernel (Sec. 3.5 — no communication).
+func applyDiagonal(local []complex128, op *schedule.Op, l, rank int) {
+	// Positions are sorted ascending, so local positions form a prefix.
+	nl := 0
+	for nl < len(op.Positions) && op.Positions[nl] < l {
+		nl++
+	}
+	gbits := 0
+	for j := nl; j < len(op.Positions); j++ {
+		if rank&(1<<(op.Positions[j]-l)) != 0 {
+			gbits |= 1 << (j - nl)
+		}
+	}
+	if nl == 0 {
+		// Pure global diagonal: a per-rank scalar (conditional global
+		// phase).
+		kernels.Scale(local, op.Diag[gbits])
+		return
+	}
+	sub := op.Diag[gbits<<nl : (gbits+1)<<nl]
+	kernels.ApplyDiagonal(local, sub, op.Positions[:nl])
+}
+
+// swapGlobalLocal executes a q-qubit global-to-local swap: local locations
+// [l−q, l) are exchanged with the global locations in op.GlobalPos via one
+// group all-to-all per 2^(g−q) rank group (Sec. 3.4, Fig. 3).
+func swapGlobalLocal(c *mpi.Comm, op *schedule.Op, local, scratch []complex128, l int) (newLocal, newScratch []complex128) {
+	q := len(op.LocalPos)
+	for j, p := range op.LocalPos {
+		if p != l-q+j {
+			panic(fmt.Sprintf("dist: swap local positions %v are not the top %d locations", op.LocalPos, q))
+		}
+	}
+	bitPositions := make([]int, q)
+	for j, p := range op.GlobalPos {
+		bitPositions[j] = p - l
+	}
+	chunk := len(local) >> q
+	send := make([][]complex128, 1<<q)
+	recv := make([][]complex128, 1<<q)
+	for j := range send {
+		send[j] = local[j*chunk : (j+1)*chunk]
+		recv[j] = scratch[j*chunk : (j+1)*chunk]
+	}
+	c.GroupAlltoall(bitPositions, send, recv)
+	return scratch, local
+}

@@ -1,0 +1,282 @@
+package dist
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/schedule"
+	"qusim/internal/statevec"
+)
+
+func supremacy(n, depth int, seed int64, skipH bool) *circuit.Circuit {
+	r, c := circuit.GridForQubits(n)
+	return circuit.Supremacy(circuit.SupremacyOptions{
+		Rows: r, Cols: c, Depth: depth, Seed: seed, SkipInitialH: skipH,
+	})
+}
+
+// naive runs the circuit on a single full state vector.
+func naive(c *circuit.Circuit, init InitState) *statevec.Vector {
+	var v *statevec.Vector
+	if init == InitUniform {
+		v = statevec.NewUniform(c.N)
+	} else {
+		v = statevec.New(c.N)
+	}
+	for _, g := range c.Gates {
+		v.Apply(g.Matrix(), g.Qubits...)
+	}
+	return v
+}
+
+// assertDistEqualsNaive runs the scheduled plan across ranks and compares
+// every amplitude with naive single-node simulation via the plan's final
+// qubit → location mapping.
+func assertDistEqualsNaive(t *testing.T, c *circuit.Circuit, ranks int, opts schedule.Options, init InitState) *Result {
+	t.Helper()
+	g := 0
+	for 1<<g < ranks {
+		g++
+	}
+	opts.LocalQubits = c.N - g
+	plan, err := schedule.Build(c, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := Run(plan, Options{Ranks: ranks, Init: init, GatherState: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := naive(c, init)
+	var maxd float64
+	for b := 0; b < 1<<c.N; b++ {
+		d := cmplx.Abs(want.Amplitude(b) - res.Amplitudes[plan.PermutedIndex(b)])
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-9 {
+		t.Fatalf("ranks=%d: distributed result deviates from naive: max diff %g\n%s",
+			ranks, maxd, plan.Summary())
+	}
+	if math.Abs(res.Norm-1) > 1e-9 {
+		t.Errorf("ranks=%d: norm %v", ranks, res.Norm)
+	}
+	return res
+}
+
+func TestDistributedEqualsNaiveAcrossRankCounts(t *testing.T) {
+	c := supremacy(12, 12, 21, false)
+	for _, ranks := range []int{1, 2, 4, 8, 16} {
+		opts := schedule.DefaultOptions(0) // LocalQubits set by helper
+		opts.KMax = 3
+		res := assertDistEqualsNaive(t, c, ranks, opts, InitZero)
+		if ranks > 1 && res.CommSteps == 0 {
+			t.Errorf("ranks=%d: no communication steps recorded", ranks)
+		}
+	}
+}
+
+func TestDistributedUniformInit(t *testing.T) {
+	c := supremacy(12, 10, 22, true)
+	opts := schedule.DefaultOptions(0)
+	assertDistEqualsNaive(t, c, 8, opts, InitUniform)
+}
+
+func TestDistributedWithT1QSpecialization(t *testing.T) {
+	c := supremacy(12, 14, 23, false)
+	opts := schedule.DefaultOptions(0)
+	opts.SpecializeDiagonal1Q = true
+	assertDistEqualsNaive(t, c, 8, opts, InitZero)
+}
+
+func TestDistributedQFT(t *testing.T) {
+	c := circuit.QFT(10)
+	opts := schedule.DefaultOptions(0)
+	opts.KMax = 3
+	assertDistEqualsNaive(t, c, 4, opts, InitZero)
+}
+
+func TestDistributedGHZ(t *testing.T) {
+	c := circuit.GHZ(10)
+	opts := schedule.DefaultOptions(0)
+	assertDistEqualsNaive(t, c, 4, opts, InitZero)
+}
+
+func TestCommStepsEqualPlanSwaps(t *testing.T) {
+	c := supremacy(12, 16, 24, false)
+	opts := schedule.DefaultOptions(8)
+	plan, err := schedule.Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Ranks: 16, Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommSteps != plan.Stats.Swaps {
+		t.Errorf("comm steps %d != plan swaps %d", res.CommSteps, plan.Stats.Swaps)
+	}
+}
+
+func TestSwapCommVolume(t *testing.T) {
+	// A full g-qubit swap moves (2^g − 1)/2^g of every rank's 2^l
+	// amplitudes across rank boundaries.
+	c := supremacy(12, 16, 25, false)
+	opts := schedule.DefaultOptions(8)
+	plan, err := schedule.Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Ranks: 16, Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSwapMax := int64(16) * int64(16) * (1 << 8) // ranks × 2^l amps × 16B upper bound
+	if res.CommBytes <= 0 || res.CommBytes > int64(plan.Stats.Swaps)*perSwapMax {
+		t.Errorf("comm bytes %d outside (0, %d·%d]", res.CommBytes, plan.Stats.Swaps, perSwapMax)
+	}
+}
+
+func TestEntropyMatchesSingleNode(t *testing.T) {
+	c := supremacy(12, 14, 26, false)
+	opts := schedule.DefaultOptions(9)
+	plan, err := schedule.Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Ranks: 8, Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive(c, InitZero).Entropy()
+	if math.Abs(res.Entropy-want) > 1e-9 {
+		t.Errorf("distributed entropy %v, single-node %v", res.Entropy, want)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := supremacy(9, 8, 27, false)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(plan, Options{Ranks: 3}); err == nil {
+		t.Error("non-power-of-two rank count accepted")
+	}
+	if _, err := Run(plan, Options{Ranks: 16}); err == nil {
+		t.Error("mismatched rank count accepted")
+	}
+}
+
+// --- baseline scheme -------------------------------------------------------
+
+func TestBaselineEqualsNaive(t *testing.T) {
+	c := supremacy(11, 12, 28, false)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		res, err := RunBaseline(c, BaselineOptions{
+			Ranks: ranks, Init: InitZero, Specialize2Q: true, GatherState: true,
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		want := naive(c, InitZero)
+		var maxd float64
+		for b := 0; b < 1<<c.N; b++ {
+			// Baseline keeps the identity layout: index b maps to itself.
+			d := cmplx.Abs(want.Amplitude(b) - res.Amplitudes[b])
+			if d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-9 {
+			t.Fatalf("ranks=%d: baseline deviates from naive: %g", ranks, maxd)
+		}
+	}
+}
+
+func TestBaselineCommStepsMatchGlobalGateCount(t *testing.T) {
+	c := supremacy(11, 12, 29, false)
+	ranks := 8
+	l := c.N - 3
+	res, err := RunBaseline(c, BaselineOptions{Ranks: ranks, Init: InitZero, Specialize2Q: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, g := range c.Gates {
+		global := false
+		for _, q := range g.Qubits {
+			if q >= l {
+				global = true
+			}
+		}
+		if !global {
+			continue
+		}
+		if g.IsDiagonal() && g.K() >= 2 {
+			continue // specialized CZ
+		}
+		want++
+	}
+	if res.CommSteps != want {
+		t.Errorf("baseline comm steps %d, want %d", res.CommSteps, want)
+	}
+}
+
+func TestBaselineSpecializationReducesSteps(t *testing.T) {
+	c := supremacy(11, 12, 30, false)
+	with, err := RunBaseline(c, BaselineOptions{Ranks: 8, Init: InitZero, Specialize2Q: true, Specialize1Q: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunBaseline(c, BaselineOptions{Ranks: 8, Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.CommSteps >= without.CommSteps {
+		t.Errorf("specialization did not reduce baseline steps: %d vs %d", with.CommSteps, without.CommSteps)
+	}
+	if math.Abs(with.Entropy-without.Entropy) > 1e-9 {
+		t.Errorf("entropy differs between specialization modes: %v vs %v", with.Entropy, without.Entropy)
+	}
+}
+
+func TestScheduledBeatsBaselineCommSteps(t *testing.T) {
+	// The core multi-node claim: a couple of global-to-local swaps replace
+	// dozens of per-gate exchanges.
+	c := supremacy(12, 20, 31, false)
+	ranks := 16
+	opts := schedule.DefaultOptions(c.N - 4)
+	plan, err := schedule.Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Run(plan, Options{Ranks: ranks, Init: InitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunBaseline(c, BaselineOptions{Ranks: ranks, Init: InitZero, Specialize2Q: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.CommSteps >= base.CommSteps {
+		t.Errorf("scheduled %d steps not below baseline %d", sched.CommSteps, base.CommSteps)
+	}
+	t.Logf("comm steps: scheduled=%d baseline=%d (%.1fx)", sched.CommSteps, base.CommSteps,
+		float64(base.CommSteps)/float64(sched.CommSteps))
+	if math.Abs(sched.Entropy-base.Entropy) > 1e-9 {
+		t.Errorf("entropies differ: %v vs %v", sched.Entropy, base.Entropy)
+	}
+}
+
+func TestBaselineRejectsDenseTwoQubitGlobalGate(t *testing.T) {
+	c := circuit.NewCircuit(6)
+	c.Append(circuit.NewCNOT(5, 4)) // dense 2-qubit gate on global qubits
+	_, err := RunBaseline(c, BaselineOptions{Ranks: 4, Init: InitZero})
+	if err == nil {
+		t.Error("expected error for dense 2-qubit global gate")
+	}
+}

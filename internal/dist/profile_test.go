@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"testing"
+
+	"qusim/internal/schedule"
+)
+
+func TestProfileBreakdown(t *testing.T) {
+	c := supremacy(12, 16, 95, false)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Ranks: 8, Init: InitUniform, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profile) != 4 {
+		t.Fatalf("profile has %d entries, want 4", len(res.Profile))
+	}
+	byKind := map[string]ProfileEntry{}
+	for _, e := range res.Profile {
+		byKind[e.Kind] = e
+	}
+	if byKind["cluster"].Ops != plan.Stats.Clusters-countDiagClusters(plan) {
+		// Clusters that fused to diagonal matrices execute as diag ops;
+		// the cluster profile entry counts OpCluster executions.
+		t.Logf("cluster ops %d vs plan clusters %d (diagonal-fused clusters run as diag)",
+			byKind["cluster"].Ops, plan.Stats.Clusters)
+	}
+	if byKind["swap"].Ops != plan.Stats.Swaps {
+		t.Errorf("profiled swap ops %d, plan says %d", byKind["swap"].Ops, plan.Stats.Swaps)
+	}
+	if byKind["cluster"].Duration <= 0 {
+		t.Error("cluster time not recorded")
+	}
+	// Without Profile, no breakdown is produced.
+	res2, err := Run(plan, Options{Ranks: 8, Init: InitUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Profile != nil {
+		t.Error("profile produced without Options.Profile")
+	}
+}
+
+func countDiagClusters(plan *schedule.Plan) int {
+	n := 0
+	for _, op := range plan.Ops {
+		if op.Kind == schedule.OpDiagonal && op.GateCount > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+// Package f32vec implements a single-precision (complex64) state vector —
+// the Sec. 5 outlook of Häner & Steiger, SC'17: "the simulation of 46
+// qubits is feasible when using single-precision floating point numbers to
+// represent the complex amplitudes", because halving the bytes per
+// amplitude doubles the number of qubits that fit in the same memory.
+package f32vec
+
+import (
+	"fmt"
+	"math"
+
+	"qusim/internal/gate"
+	"qusim/internal/par"
+	"qusim/internal/statevec"
+)
+
+// BytesPerAmplitude is 8 for complex64 (vs 16 for complex128).
+const BytesPerAmplitude = 8
+
+// MaxQubitsForMemory returns the largest n such that a single-precision
+// 2^n-amplitude state fits into the given memory. With the paper's 0.5 PB,
+// double precision holds 45 qubits and single precision 46.
+func MaxQubitsForMemory(bytes float64, single bool) int {
+	per := 16.0
+	if single {
+		per = BytesPerAmplitude
+	}
+	n := 0
+	for math.Pow(2, float64(n+1))*per <= bytes {
+		n++
+	}
+	return n
+}
+
+// Vector is an n-qubit state with complex64 amplitudes.
+type Vector struct {
+	N    int
+	Amps []complex64
+}
+
+// New returns |0…0⟩.
+func New(n int) *Vector {
+	v := &Vector{N: n, Amps: make([]complex64, 1<<n)}
+	v.Amps[0] = 1
+	return v
+}
+
+// NewUniform returns the uniform superposition.
+func NewUniform(n int) *Vector {
+	v := &Vector{N: n, Amps: make([]complex64, 1<<n)}
+	a := complex64(complex(float32(math.Pow(2, -float64(n)/2)), 0))
+	for i := range v.Amps {
+		v.Amps[i] = a
+	}
+	return v
+}
+
+// FromDouble converts a double-precision state.
+func FromDouble(s *statevec.Vector) *Vector {
+	v := &Vector{N: s.N, Amps: make([]complex64, len(s.Amps))}
+	for i, a := range s.Amps {
+		v.Amps[i] = complex64(a)
+	}
+	return v
+}
+
+// ToDouble converts back to double precision.
+func (v *Vector) ToDouble() *statevec.Vector {
+	out := statevec.New(v.N)
+	for i, a := range v.Amps {
+		out.Amps[i] = complex128(a)
+	}
+	return out
+}
+
+// Apply applies a gate matrix (given in double precision, converted once)
+// to the qubits at sorted positions qs, using the in-place gather/scatter
+// kernel.
+func (v *Vector) Apply(m gate.Matrix, qs []int) {
+	k := m.K
+	if len(qs) != k {
+		panic(fmt.Sprintf("f32vec: %d positions for %d-qubit gate", len(qs), k))
+	}
+	for i := 1; i < k; i++ {
+		if qs[i-1] >= qs[i] {
+			panic("f32vec: positions must be sorted ascending")
+		}
+	}
+	dk := 1 << k
+	mm := make([]complex64, len(m.Data))
+	for i, a := range m.Data {
+		mm[i] = complex64(a)
+	}
+	masks := make([]int, k)
+	offs := make([]int, dk)
+	for j, q := range qs {
+		masks[j] = 1<<q - 1
+	}
+	for x := range offs {
+		o := 0
+		for j := 0; j < k; j++ {
+			if x&(1<<j) != 0 {
+				o |= 1 << qs[j]
+			}
+		}
+		offs[x] = o
+	}
+	amps := v.Amps
+	outer := len(amps) >> k
+	grain := 4096 >> k
+	if grain < 1 {
+		grain = 1
+	}
+	par.For(outer, grain, func(lo, hi int) {
+		tmp := make([]complex64, dk)
+		for t := lo; t < hi; t++ {
+			base := t
+			for _, msk := range masks {
+				base = ((base &^ msk) << 1) | (base & msk)
+			}
+			for x := 0; x < dk; x++ {
+				tmp[x] = amps[base+offs[x]]
+			}
+			for r := 0; r < dk; r++ {
+				row := mm[r*dk : (r+1)*dk]
+				var acc complex64
+				for c := 0; c < dk; c++ {
+					acc += row[c] * tmp[c]
+				}
+				amps[base+offs[r]] = acc
+			}
+		}
+	})
+}
+
+// Norm returns Σ|α|², accumulated in float64 to limit rounding.
+func (v *Vector) Norm() float64 {
+	return par.ReduceFloat64(len(v.Amps), 1<<14, func(lo, hi int) float64 {
+		var s float64
+		for _, a := range v.Amps[lo:hi] {
+			s += float64(real(a))*float64(real(a)) + float64(imag(a))*float64(imag(a))
+		}
+		return s
+	})
+}
+
+// Entropy returns the Shannon entropy of the output distribution in nats.
+func (v *Vector) Entropy() float64 {
+	return par.ReduceFloat64(len(v.Amps), 1<<14, func(lo, hi int) float64 {
+		var s float64
+		for _, a := range v.Amps[lo:hi] {
+			p := float64(real(a))*float64(real(a)) + float64(imag(a))*float64(imag(a))
+			if p > 0 {
+				s -= p * math.Log(p)
+			}
+		}
+		return s
+	})
+}
+
+// MaxDiff returns the largest amplitude deviation from a double-precision
+// state — used to quantify single-precision error growth over deep
+// circuits.
+func (v *Vector) MaxDiff(s *statevec.Vector) float64 {
+	var m float64
+	for i, a := range v.Amps {
+		d := complex128(a) - s.Amps[i]
+		if ab := math.Hypot(real(d), imag(d)); ab > m {
+			m = ab
+		}
+	}
+	return m
+}

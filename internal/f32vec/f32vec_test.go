@@ -1,0 +1,104 @@
+package f32vec
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/gate"
+	"qusim/internal/statevec"
+)
+
+func TestMaxQubitsForMemory(t *testing.T) {
+	// The paper's outlook: 0.5 PB holds 45 qubits in double precision and
+	// 46 in single precision.
+	halfPB := 0.5 * math.Pow(2, 50)
+	if n := MaxQubitsForMemory(halfPB, false); n != 45 {
+		t.Errorf("double precision in 0.5 PiB: %d qubits, want 45", n)
+	}
+	if n := MaxQubitsForMemory(halfPB, true); n != 46 {
+		t.Errorf("single precision in 0.5 PiB: %d qubits, want 46", n)
+	}
+}
+
+func TestApplyMatchesDoublePrecision(t *testing.T) {
+	n := 10
+	r, c := circuit.GridForQubits(n)
+	circ := circuit.Supremacy(circuit.SupremacyOptions{Rows: r, Cols: c, Depth: 12, Seed: 3})
+	d := statevec.New(n)
+	s := New(n)
+	for i := range circ.Gates {
+		g := &circ.Gates[i]
+		qs := append([]int(nil), g.Qubits...)
+		m := g.Matrix()
+		if !sort.IntsAreSorted(qs) {
+			// Normalize to sorted order for the f32 kernel.
+			perm := sortPerm(qs)
+			m = gate.PermuteQubits(m, perm)
+			sort.Ints(qs)
+		}
+		d.ApplyDense(m, qs...)
+		s.Apply(m, qs)
+	}
+	if diff := s.MaxDiff(d); diff > 1e-4 {
+		t.Errorf("single vs double precision max diff %g", diff)
+	}
+	if math.Abs(s.Norm()-1) > 1e-4 {
+		t.Errorf("single-precision norm %v", s.Norm())
+	}
+	if math.Abs(s.Entropy()-d.Entropy()) > 1e-3 {
+		t.Errorf("entropy %v vs %v", s.Entropy(), d.Entropy())
+	}
+}
+
+func sortPerm(qs []int) []int {
+	k := len(qs)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return qs[idx[a]] < qs[idx[b]] })
+	perm := make([]int, k)
+	for rank, j := range idx {
+		perm[j] = rank
+	}
+	return perm
+}
+
+func TestRoundTripConversion(t *testing.T) {
+	d := statevec.NewUniform(8)
+	s := FromDouble(d)
+	back := s.ToDouble()
+	if diff := d.MaxDiff(back); diff > 1e-7 {
+		t.Errorf("round trip max diff %g", diff)
+	}
+}
+
+func TestUniformInit(t *testing.T) {
+	v := NewUniform(10)
+	if math.Abs(v.Norm()-1) > 1e-5 {
+		t.Errorf("uniform norm %v", v.Norm())
+	}
+	if math.Abs(v.Entropy()-10*math.Ln2) > 1e-3 {
+		t.Errorf("uniform entropy %v", v.Entropy())
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	v := New(4)
+	h := gate.H()
+	for i, fn := range []func(){
+		func() { v.Apply(h, []int{0, 1}) },         // arity mismatch
+		func() { v.Apply(gate.CZ(), []int{1, 0}) }, // unsorted
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+package f32vec
+
+import (
+	"fmt"
+
+	"qusim/internal/schedule"
+)
+
+// RunPlan executes a scheduled plan on the single-precision state — the
+// combination the paper's outlook points at: "the simulation of 46 qubits
+// is feasible when using single-precision floating point numbers" with the
+// same two-swap schedules. Swaps and permutations are exact bit
+// permutations; cluster and diagonal matrices are converted to complex64
+// per op.
+func (v *Vector) RunPlan(p *schedule.Plan) error {
+	if p.N != v.N {
+		return fmt.Errorf("f32vec: plan is for %d qubits, state has %d", p.N, v.N)
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		switch op.Kind {
+		case schedule.OpCluster:
+			v.Apply(op.Matrix, op.Positions)
+		case schedule.OpDiagonal:
+			v.applyDiagonal(op.Diag, op.Positions)
+		case schedule.OpLocalPerm:
+			perm := make([]int, v.N)
+			copy(perm, op.Perm)
+			for q := p.L; q < p.N; q++ {
+				perm[q] = q
+			}
+			v.permuteBits(perm)
+		case schedule.OpSwap:
+			for j := range op.LocalPos {
+				v.swapBits(op.LocalPos[j], op.GlobalPos[j])
+			}
+		default:
+			return fmt.Errorf("f32vec: unknown op kind %v", op.Kind)
+		}
+	}
+	return nil
+}
+
+func (v *Vector) applyDiagonal(d []complex128, qs []int) {
+	k := len(qs)
+	dd := make([]complex64, len(d))
+	for i, x := range d {
+		dd[i] = complex64(x)
+	}
+	for i := range v.Amps {
+		x := 0
+		for j := 0; j < k; j++ {
+			x |= (i >> qs[j] & 1) << j
+		}
+		v.Amps[i] *= dd[x]
+	}
+}
+
+func (v *Vector) swapBits(a, b int) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	maskA := 1<<a - 1
+	maskB := 1<<b - 1
+	sa, sb := 1<<a, 1<<b
+	for t := 0; t < len(v.Amps)>>2; t++ {
+		base := ((t &^ maskA) << 1) | (t & maskA)
+		base = ((base &^ maskB) << 1) | (base & maskB)
+		i01 := base | sa
+		i10 := base | sb
+		v.Amps[i01], v.Amps[i10] = v.Amps[i10], v.Amps[i01]
+	}
+}
+
+func (v *Vector) permuteBits(perm []int) {
+	n := v.N
+	cur := make([]int, n)
+	loc := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+		loc[i] = i
+	}
+	for p := 0; p < n; p++ {
+		want := perm[p]
+		have := cur[p]
+		if have == want {
+			continue
+		}
+		v.swapBits(have, want)
+		other := loc[want]
+		cur[p], cur[other] = want, have
+		loc[have], loc[want] = other, p
+	}
+}

@@ -1,0 +1,68 @@
+package f32vec
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/schedule"
+	"qusim/internal/statevec"
+)
+
+func TestRunPlanMatchesDoublePrecisionPlan(t *testing.T) {
+	n := 12
+	r, c := circuit.GridForQubits(n)
+	circ := circuit.Supremacy(circuit.SupremacyOptions{
+		Rows: r, Cols: c, Depth: 16, Seed: 13, SkipInitialH: true,
+	})
+	plan, err := schedule.Build(circ, schedule.DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.Swaps == 0 {
+		t.Fatal("want a plan with swaps for this test")
+	}
+	d := statevec.NewUniform(n)
+	if err := plan.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniform(n)
+	if err := s.RunPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	var maxd float64
+	for i := range d.Amps {
+		if diff := cmplx.Abs(complex128(s.Amps[i]) - d.Amps[i]); diff > maxd {
+			maxd = diff
+		}
+	}
+	if maxd > 1e-4 {
+		t.Errorf("single-precision plan execution deviates: %g", maxd)
+	}
+	if math.Abs(s.Norm()-1) > 1e-4 {
+		t.Errorf("norm %v", s.Norm())
+	}
+}
+
+func TestRunPlanValidatesQubits(t *testing.T) {
+	circ := circuit.GHZ(6)
+	plan, err := schedule.Build(circ, schedule.DefaultOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(5)
+	if err := v.RunPlan(plan); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+}
+
+func TestMemoryAdvantageDocumented(t *testing.T) {
+	// The whole point: same qubit count, half the bytes.
+	n := 10
+	d := statevec.New(n)
+	s := New(n)
+	if 16*len(d.Amps) != 2*BytesPerAmplitude*len(s.Amps) {
+		t.Errorf("memory ratio is not 2x")
+	}
+}

@@ -1,0 +1,172 @@
+package gate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedIdentityPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	u := RandomUnitary(2, rng)
+	// Embedding onto its own space with the identity position map is a no-op.
+	if !ApproxEqual(Embed(u, []int{0, 1}, 2), u, tol) {
+		t.Error("Embed(u, [0,1], 2) != u")
+	}
+}
+
+func TestEmbedSwapsQubits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	u := RandomUnitary(2, rng)
+	sw := Swap()
+	// Reversing the position map conjugates by SWAP.
+	rev := Embed(u, []int{1, 0}, 2)
+	want := Mul(sw, Mul(u, sw))
+	if !ApproxEqual(rev, want, 1e-10) {
+		t.Error("Embed with reversed positions != SWAP·u·SWAP")
+	}
+}
+
+func TestEmbedSingleQubitMatchesKron(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for pos := 0; pos < 3; pos++ {
+		u := RandomUnitary(1, rng)
+		emb := Embed(u, []int{pos}, 3)
+		// Build 1⊗…⊗U⊗…⊗1 with U at bit position pos.
+		want := Identity(0)
+		for q := 0; q < 3; q++ {
+			if q == pos {
+				want = Kron(u, want)
+			} else {
+				want = Kron(Identity(1), want)
+			}
+		}
+		if !ApproxEqual(emb, want, 1e-10) {
+			t.Errorf("pos %d: Embed != Kron construction", pos)
+		}
+	}
+}
+
+func TestEmbedPreservesUnitarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		kg := 1 + r.Intn(2)
+		k := kg + r.Intn(3)
+		u := RandomUnitary(kg, r)
+		pos := r.Perm(k)[:kg]
+		return Embed(u, pos, k).IsUnitary(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbedPanicsOnBadInput(t *testing.T) {
+	u := H()
+	for i, fn := range []func(){
+		func() { Embed(u, []int{0, 1}, 2) },    // too many positions
+		func() { Embed(u, []int{2}, 2) },       // out of range
+		func() { Embed(CZ(), []int{1, 1}, 2) }, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFuseTwoGatesOrder(t *testing.T) {
+	// Fusing H then T on one qubit must be T·H, not H·T.
+	fused := Fuse([]Op{{H(), []int{0}}, {T(), []int{0}}}, 1)
+	want := Mul(T(), H())
+	if !ApproxEqual(fused, want, tol) {
+		t.Error("Fuse applied gates in the wrong order")
+	}
+}
+
+func TestFuseEqualsExplicitProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(2)
+		nops := 1 + rng.Intn(6)
+		ops := make([]Op, nops)
+		want := Identity(k)
+		for i := range ops {
+			kg := 1 + rng.Intn(2)
+			u := RandomUnitary(kg, rng)
+			pos := rng.Perm(k)[:kg]
+			ops[i] = Op{u, pos}
+			want = Mul(Embed(u, pos, k), want)
+		}
+		fused := Fuse(ops, k)
+		if !ApproxEqual(fused, want, 1e-9) {
+			t.Fatalf("trial %d: Fuse != explicit product", trial)
+		}
+		if !fused.IsUnitary(1e-9) {
+			t.Fatalf("trial %d: fused matrix not unitary", trial)
+		}
+	}
+}
+
+func TestFuseCZLadderIsDiagonal(t *testing.T) {
+	// A cluster of only CZ and T gates must fuse to a diagonal matrix —
+	// this is what gate specialization (Sec. 3.5) relies on.
+	ops := []Op{
+		{CZ(), []int{0, 1}},
+		{T(), []int{2}},
+		{CZ(), []int{1, 2}},
+		{T(), []int{0}},
+	}
+	fused := Fuse(ops, 3)
+	if !fused.IsDiagonal(tol) {
+		t.Error("fusion of diagonal gates is not diagonal")
+	}
+}
+
+func TestPermuteQubitsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	u := RandomUnitary(3, rng)
+	if !ApproxEqual(PermuteQubits(u, []int{0, 1, 2}), u, tol) {
+		t.Error("identity permutation changed the matrix")
+	}
+}
+
+func TestPermuteQubitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(2)
+		u := RandomUnitary(k, r)
+		perm := r.Perm(k)
+		inv := make([]int, k)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		back := PermuteQubits(PermuteQubits(u, perm), inv)
+		return ApproxEqual(back, u, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteQubitsSortedConvention(t *testing.T) {
+	// Applying u to qubits (2,0) of a 3-qubit space equals applying the
+	// qubit-permuted matrix to sorted qubits (0,2). This is the matrix
+	// pre-permutation of Sec. 3.2.
+	rng := rand.New(rand.NewSource(17))
+	u := RandomUnitary(2, rng)
+	direct := Embed(u, []int{2, 0}, 3)
+	// Within the sorted pair (0,2): gate-local qubit 0 sits at sorted slot 1
+	// (position 2) and gate-local qubit 1 at sorted slot 0 (position 0).
+	perm := PermuteQubits(u, []int{1, 0})
+	viaSorted := Embed(perm, []int{0, 2}, 3)
+	if !ApproxEqual(direct, viaSorted, 1e-10) {
+		t.Error("sorted-qubit pre-permutation does not reproduce direct embedding")
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run to completion in quick mode and produce the
+// paper-comparison output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	exps := All()
+	if len(exps) < 11 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Config{Quick: true}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 100 {
+				t.Errorf("%s produced suspiciously short output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s output missing header", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig5a"); !ok {
+		t.Error("fig5a not registered")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("unknown id found")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig2a", "fig2b", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "edison36", "ablation"} {
+		if !ids[want] {
+			t.Errorf("experiment %s not registered", want)
+		}
+	}
+}

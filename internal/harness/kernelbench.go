@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"math/rand"
+	"time"
+
+	"qusim/internal/gate"
+	"qusim/internal/kernels"
+	"qusim/internal/perfmodel"
+)
+
+// Shared kernel measurement helpers for the Fig. 2/6/7/9/10 experiments.
+
+// measureKernelGFLOPS times variant applying a random k-qubit gate on a
+// 2^n state at the given sorted qubit positions and returns sustained
+// GFLOPS.
+func measureKernelGFLOPS(v kernels.Variant, n, k int, qs []int, minReps int) float64 {
+	rng := rand.New(rand.NewSource(7))
+	u := gate.RandomUnitary(k, rng)
+	amps := make([]complex128, 1<<n)
+	amps[0] = 1
+	var scratch []complex128
+	if v == kernels.Naive {
+		scratch = make([]complex128, len(amps))
+	}
+	src, dst := amps, scratch
+	apply := func() {
+		if v == kernels.Naive {
+			// Ping-pong the two vectors like the baseline implementation.
+			kernels.Apply(v, src, u.Data, qs, dst)
+			src, dst = dst, src
+		} else {
+			kernels.Apply(v, src, u.Data, qs, nil)
+		}
+	}
+	apply() // warm up
+	reps := minReps
+	if reps < 1 {
+		reps = 1
+	}
+	var elapsed time.Duration
+	for {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			apply()
+		}
+		elapsed = time.Since(start)
+		if elapsed > 50*time.Millisecond || reps > 1<<16 {
+			break
+		}
+		reps *= 4
+	}
+	secPerApply := elapsed.Seconds() / float64(reps)
+	return perfmodel.KernelFlops(n, k) / secPerApply / 1e9
+}
+
+func randSource(seed int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// lowOrderQs returns positions 0…k−1; highOrderQs returns n−k…n−1 (the
+// large power-of-two-stride case of Sec. 3.3).
+func lowOrderQs(k int) []int {
+	qs := make([]int, k)
+	for i := range qs {
+		qs[i] = i
+	}
+	return qs
+}
+
+func highOrderQs(n, k int) []int {
+	qs := make([]int, k)
+	for i := range qs {
+		qs[i] = n - k + i
+	}
+	return qs
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"qusim/internal/kernels"
+)
+
+// The autotuner experiment: the Go stand-in for the paper's code
+// generation / benchmarking feedback loop (Sec. 3.2). It times every
+// kernel variant per gate size on this machine and reports the selection
+// the Auto path will use, plus the block-size search for the Split kernel.
+
+func init() {
+	register(Experiment{ID: "tuner", Title: "Sec. 3.2 — kernel autotuner (codegen feedback loop)", Run: tuner})
+}
+
+func tuner(w io.Writer, cfg Config) error {
+	n := 20
+	reps := 3
+	if cfg.Quick {
+		n, reps = 16, 1
+	}
+	header(w, fmt.Sprintf("kernel autotuning on this host (2^%d amplitudes)", n))
+	res := kernels.Tune(5, n, reps)
+	t := newTable(w)
+	hdr := []any{"k"}
+	for _, v := range kernels.Variants() {
+		hdr = append(hdr, v.String()+" [ms]")
+	}
+	hdr = append(hdr, "selected")
+	t.row(hdr...)
+	for k := 1; k <= 5; k++ {
+		row := []any{k}
+		for _, v := range kernels.Variants() {
+			for _, tm := range res.Timings {
+				if tm.K == k && tm.Variant == v {
+					row = append(row, fmt.Sprintf("%.2f", tm.NsPerApply/1e6))
+				}
+			}
+		}
+		row = append(row, kernels.Selected(k).String())
+		t.row(row...)
+	}
+	t.flush()
+	blk := kernels.TuneSplitBlock(4, n, reps)
+	fmt.Fprintf(w, "\nsplit-kernel column block size (register blocking B): %d\n", blk)
+	note(w, "the paper's Python generator + benchmark loop picks kernels per target machine; here the same loop picks among the Go variants (incl. cmd/kernelgen output)")
+	return nil
+}

@@ -1,0 +1,75 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"qusim/internal/gate"
+)
+
+// The Generated variant is additionally covered by
+// TestAllVariantsMatchDenseReference; these tests pin its dispatch
+// behaviour and keep a regression check on the generator output.
+
+func TestGeneratedFallsBackOutsideRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, k := range []int{1, 6} {
+		n := k + 3
+		u := gate.RandomUnitary(k, rng)
+		qs := make([]int, k)
+		for i := range qs {
+			qs[i] = i
+		}
+		state := randomState(n, rng)
+		a := make([]complex128, len(state))
+		b := make([]complex128, len(state))
+		copy(a, state)
+		copy(b, state)
+		Apply(Generated, a, u.Data, qs, nil)
+		Apply(Specialized, b, u.Data, qs, nil)
+		if d := maxDiff(a, b); d > 1e-12 {
+			t.Errorf("k=%d fallback deviates from specialized: %g", k, d)
+		}
+	}
+}
+
+func TestGeneratedMatchesSpecializedOnSupportedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 10
+	for k := 2; k <= 5; k++ {
+		u := gate.RandomUnitary(k, rng)
+		qs := sortedSubset(n, k, rng)
+		state := randomState(n, rng)
+		a := make([]complex128, len(state))
+		b := make([]complex128, len(state))
+		copy(a, state)
+		copy(b, state)
+		Apply(Generated, a, u.Data, qs, nil)
+		Apply(Specialized, b, u.Data, qs, nil)
+		if d := maxDiff(a, b); d > 1e-10 {
+			t.Errorf("k=%d: generated vs specialized max diff %g", k, d)
+		}
+	}
+}
+
+func BenchmarkGeneratedVsSpecialized(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	n := 18
+	for _, k := range []int{2, 4, 5} {
+		u := gate.RandomUnitary(k, rng)
+		qs := make([]int, k)
+		for i := range qs {
+			qs[i] = i
+		}
+		for _, v := range []Variant{Specialized, Generated} {
+			b.Run(v.String()+"/k"+string(rune('0'+k)), func(b *testing.B) {
+				amps := make([]complex128, 1<<n)
+				amps[0] = 1
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Apply(v, amps, u.Data, qs, nil)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package kernels
+
+import "qusim/internal/par"
+
+// splitBlock is the register-blocking width over matrix columns (the block
+// size B of Sec. 3.2). It is chosen by the autotuner; 4 is the default the
+// feedback loop converges to on most scalar targets.
+var splitBlock = 4
+
+// SetSplitBlock sets the column block size used by the Split kernel and
+// returns the previous value. Exposed for the autotuner and the Fig. 2
+// optimization-step experiment.
+func SetSplitBlock(b int) int {
+	old := splitBlock
+	if b >= 1 {
+		splitBlock = b
+	}
+	return old
+}
+
+// applySplit is optimization steps 2–3 of Sec. 3.2: the complex multiply-
+// accumulate is rewritten over split real/imaginary operands. The gate
+// matrix is pre-computed into two real-valued operand tables, (mR, mR) and
+// (−mI, mI), so the inner update is two multiply-adds per entry — the
+// FMA-friendly form of Eq. (2)–(3) — and columns are processed in blocks of
+// splitBlock so the accumulators stay in registers.
+func applySplit(amps, m []complex128, qs []int) {
+	k := len(qs)
+	dk := 1 << k
+	masks := insertMasks(qs)
+	offs := offsets(qs)
+	// Pre-computation on the gate matrix: essentially free, reused 2^(n-k)
+	// times (Sec. 3.2).
+	mR := make([]float64, dk*dk)
+	mNI := make([]float64, dk*dk) // −imag(m)
+	for i, v := range m {
+		mR[i] = real(v)
+		mNI[i] = -imag(v)
+	}
+	outer := len(amps) >> k
+	bsz := splitBlock
+	if bsz > dk {
+		bsz = dk
+	}
+	par.For(outer, grain(k), func(lo, hi int) {
+		aR := make([]float64, dk)
+		aI := make([]float64, dk)
+		oR := make([]float64, dk)
+		oI := make([]float64, dk)
+		for t := lo; t < hi; t++ {
+			base := expand(t, masks)
+			for x := 0; x < dk; x++ {
+				v := amps[base+offs[x]]
+				aR[x] = real(v)
+				aI[x] = imag(v)
+				oR[x] = 0
+				oI[x] = 0
+			}
+			// Blocked update: for each column block, update every output
+			// row (v~_l += Σ_{j<B} m_{l,i(b,j)} v_{i(b,j)}).
+			for b := 0; b < dk; b += bsz {
+				be := b + bsz
+				if be > dk {
+					be = dk
+				}
+				for r := 0; r < dk; r++ {
+					row := r * dk
+					accR := oR[r]
+					accI := oI[r]
+					for c := b; c < be; c++ {
+						vr := aR[c]
+						vi := aI[c]
+						wr := mR[row+c]
+						wni := mNI[row+c]
+						// (oR,oI) += (vr·wr, vi·wr); (oR,oI) += (vi·(−wi)·(−1)… )
+						// concretely: oR += vr·wr + vi·(−wi); oI += vi·wr − vr·(−wi)
+						accR += vr*wr + vi*wni
+						accI += vi*wr - vr*wni
+					}
+					oR[r] = accR
+					oI[r] = accI
+				}
+			}
+			for x := 0; x < dk; x++ {
+				amps[base+offs[x]] = complex(oR[x], oI[x])
+			}
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"qusim/internal/gate"
+)
+
+// The autotuner replaces the paper's code-generation / benchmarking feedback
+// loop (Sec. 3.2): instead of generating C++ kernels and timing them, it
+// times the pre-built Go kernel variants (and block sizes for the Split
+// kernel) on this machine and records the fastest choice per k. statevec
+// uses the selection through the Auto variant.
+
+var (
+	tunerMu  sync.RWMutex
+	selected = map[int]Variant{}
+)
+
+// Selected returns the tuned variant for k-qubit gates, defaulting to
+// Specialized when no tuning has run.
+func Selected(k int) Variant {
+	tunerMu.RLock()
+	defer tunerMu.RUnlock()
+	if v, ok := selected[k]; ok {
+		return v
+	}
+	return Specialized
+}
+
+// SetSelected overrides the tuned variant for k (used by tests and the
+// Fig. 2 experiment driver).
+func SetSelected(k int, v Variant) {
+	tunerMu.Lock()
+	defer tunerMu.Unlock()
+	selected[k] = v
+}
+
+// Timing records the measured time of one kernel variant.
+type Timing struct {
+	K          int
+	Variant    Variant
+	NsPerApply float64 // nanoseconds per full-state application
+	Best       bool
+}
+
+// TuneResult is the autotuner's report.
+type TuneResult struct {
+	N       int // state size used: 2^N amplitudes
+	Timings []Timing
+}
+
+// Tune benchmarks every variant for k = 1…kmax on a 2^n state vector and
+// records the fastest per k. reps controls averaging (≥1). The chosen
+// variants become the Auto selection.
+func Tune(kmax, n, reps int) TuneResult {
+	if reps < 1 {
+		reps = 1
+	}
+	rng := rand.New(rand.NewSource(42))
+	amps := make([]complex128, 1<<n)
+	amps[0] = 1
+	scratch := make([]complex128, len(amps))
+	res := TuneResult{N: n}
+	for k := 1; k <= kmax; k++ {
+		u := gate.RandomUnitary(k, rng)
+		qs := make([]int, k)
+		for j := range qs {
+			qs[j] = j
+		}
+		bestNs := 0.0
+		bestV := Specialized
+		for _, v := range Variants() {
+			ns := timeVariant(v, amps, scratch, u.Data, qs, reps)
+			res.Timings = append(res.Timings, Timing{K: k, Variant: v, NsPerApply: ns})
+			if bestNs == 0 || ns < bestNs {
+				bestNs, bestV = ns, v
+			}
+		}
+		SetSelected(k, bestV)
+		for i := range res.Timings {
+			if res.Timings[i].K == k && res.Timings[i].Variant == bestV {
+				res.Timings[i].Best = true
+			}
+		}
+	}
+	return res
+}
+
+// TuneSplitBlock searches the column block size for the Split kernel on a
+// 2^n vector with a k-qubit gate — the "determine the block size using an
+// automatic code-generation / benchmarking feedback loop" of Sec. 3.2 —
+// and installs the winner. It returns the chosen block size.
+func TuneSplitBlock(k, n, reps int) int {
+	rng := rand.New(rand.NewSource(43))
+	amps := make([]complex128, 1<<n)
+	amps[0] = 1
+	u := gate.RandomUnitary(k, rng)
+	qs := make([]int, k)
+	for j := range qs {
+		qs[j] = j
+	}
+	best, bestNs := splitBlock, 0.0
+	old := splitBlock
+	for _, b := range []int{1, 2, 4, 8, 16, 32} {
+		if b > 1<<k {
+			break
+		}
+		SetSplitBlock(b)
+		ns := timeVariant(Split, amps, nil, u.Data, qs, reps)
+		if bestNs == 0 || ns < bestNs {
+			best, bestNs = b, ns
+		}
+	}
+	SetSplitBlock(old)
+	SetSplitBlock(best)
+	return best
+}
+
+func timeVariant(v Variant, amps, scratch, m []complex128, qs []int, reps int) float64 {
+	src, dst := amps, scratch
+	step := func() {
+		if v == Naive {
+			applyNaive(dst, src, m, qs)
+			src, dst = dst, src
+		} else {
+			Apply(v, src, m, qs, nil)
+		}
+	}
+	step() // warm-up
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		step()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}

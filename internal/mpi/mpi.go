@@ -1,0 +1,285 @@
+// Package mpi simulates the message-passing layer of Sec. 3.4 of Häner &
+// Steiger, SC'17. Ranks run as goroutines inside one process; the
+// primitives mirror the MPI subset the simulator needs: barrier,
+// (group-)all-to-all, all-reduce, and the pairwise half-vector exchange of
+// the De Raedt-style baseline scheme.
+//
+// Communication structure is exact — who sends how many bytes where, and
+// how many collective steps happen, are the quantities the paper optimizes
+// and are counted faithfully. Wall-clock behaviour of a Cray Aries network
+// is out of scope here; package perfmodel maps the recorded traffic onto a
+// network model for the paper-scale projections.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Traffic accumulates communication statistics across all ranks.
+type Traffic struct {
+	// Steps counts collective communication steps (an all-to-all round or a
+	// pairwise exchange round counts once, matching the paper's counting
+	// where one global-to-local swap == one communication step).
+	Steps atomic.Int64
+	// Bytes counts payload bytes that crossed rank boundaries (self-copies
+	// are free).
+	Bytes atomic.Int64
+}
+
+// World coordinates size ranks.
+type World struct {
+	size    int
+	bar     *barrier
+	board   [][][]complex128 // board[src][dst] chunk posted for an all-to-all
+	pair    [][]chan []complex128
+	pairAck [][]chan struct{}
+	reduce  []float64
+	Traffic Traffic
+}
+
+// NewWorld creates a world of the given size (ranks are 0…size−1).
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{
+		size:   size,
+		bar:    newBarrier(size),
+		board:  make([][][]complex128, size),
+		reduce: make([]float64, size),
+	}
+	w.pair = make([][]chan []complex128, size)
+	w.pairAck = make([][]chan struct{}, size)
+	for i := range w.pair {
+		w.pair[i] = make([]chan []complex128, size)
+		w.pairAck[i] = make([]chan struct{}, size)
+		for j := range w.pair[i] {
+			w.pair[i][j] = make(chan []complex128, 1)
+			w.pairAck[i][j] = make(chan struct{}, 1)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run spawns one goroutine per rank executing fn and waits for all of them.
+// The first panic is re-raised on the caller.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	panics := make([]any, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			errs[rank] = fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.w.bar.wait() }
+
+// Alltoall performs a world all-to-all: send[j] goes to rank j, and recv[i]
+// receives rank i's chunk for this rank. All chunks must have equal length;
+// recv slices must be pre-allocated. This is the "one all-to-all on
+// MPI_COMM_WORLD" that swaps every global qubit with local ones.
+func (c *Comm) Alltoall(send, recv [][]complex128) {
+	w := c.w
+	if len(send) != w.size || len(recv) != w.size {
+		panic("mpi: Alltoall chunk count must equal world size")
+	}
+	w.board[c.rank] = send
+	c.Barrier()
+	for src := 0; src < w.size; src++ {
+		chunk := w.board[src][c.rank]
+		if len(chunk) != len(recv[src]) {
+			panic("mpi: Alltoall chunk length mismatch")
+		}
+		copy(recv[src], chunk)
+		if src != c.rank {
+			w.Traffic.Bytes.Add(int64(16 * len(chunk)))
+		}
+	}
+	c.Barrier()
+	if c.rank == 0 {
+		w.Traffic.Steps.Add(1)
+	}
+	c.Barrier()
+}
+
+// GroupAlltoall performs simultaneous all-to-alls within groups of ranks
+// that agree on every rank bit outside bitPositions — the group-local
+// all-to-alls of a q-qubit global-to-local swap (Sec. 3.4). send and recv
+// are indexed by group-member index: member j is the rank whose bits at
+// bitPositions spell j (bitPositions[t] holds bit t of j).
+func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
+	w := c.w
+	q := len(bitPositions)
+	if len(send) != 1<<q || len(recv) != 1<<q {
+		panic("mpi: GroupAlltoall chunk count must be 2^q")
+	}
+	var mask int
+	for _, b := range bitPositions {
+		if 1<<b >= w.size {
+			panic(fmt.Sprintf("mpi: bit position %d out of range for %d ranks", b, w.size))
+		}
+		mask |= 1 << b
+	}
+	memberRank := func(j int) int {
+		r := c.rank &^ mask
+		for t, b := range bitPositions {
+			if j&(1<<t) != 0 {
+				r |= 1 << b
+			}
+		}
+		return r
+	}
+	me := 0
+	for t, b := range bitPositions {
+		if c.rank&(1<<b) != 0 {
+			me |= 1 << t
+		}
+	}
+	w.board[c.rank] = send
+	c.Barrier()
+	for j := 0; j < 1<<q; j++ {
+		src := memberRank(j)
+		chunk := w.board[src][me]
+		if len(chunk) != len(recv[j]) {
+			panic("mpi: GroupAlltoall chunk length mismatch")
+		}
+		copy(recv[j], chunk)
+		if src != c.rank {
+			w.Traffic.Bytes.Add(int64(16 * len(chunk)))
+		}
+	}
+	c.Barrier()
+	if c.rank == 0 {
+		w.Traffic.Steps.Add(1)
+	}
+	c.Barrier()
+}
+
+// AllreduceSum returns the sum of x over all ranks (the final reduction of
+// the entropy calculation, Sec. 4.2.2).
+func (c *Comm) AllreduceSum(x float64) float64 {
+	w := c.w
+	w.reduce[c.rank] = x
+	c.Barrier()
+	var s float64
+	for _, v := range w.reduce {
+		s += v
+	}
+	c.Barrier()
+	return s
+}
+
+// AllgatherFloat64 returns every rank's contribution, indexed by rank
+// (used to share per-rank probability weights for distributed sampling).
+func (c *Comm) AllgatherFloat64(x float64) []float64 {
+	w := c.w
+	w.reduce[c.rank] = x
+	c.Barrier()
+	out := make([]float64, w.size)
+	copy(out, w.reduce)
+	c.Barrier()
+	return out
+}
+
+// PairExchange swaps buffers with a partner rank: send goes to partner,
+// recv receives the partner's send. Both sides must call with matching
+// lengths. This is the pairwise exchange of the first multi-node scheme
+// ([19]) used by the per-gate baseline.
+func (c *Comm) PairExchange(partner int, send, recv []complex128) {
+	if partner == c.rank {
+		copy(recv, send)
+		return
+	}
+	w := c.w
+	w.pair[c.rank][partner] <- send
+	theirs := <-w.pair[partner][c.rank]
+	if len(theirs) != len(recv) {
+		panic("mpi: PairExchange length mismatch")
+	}
+	copy(recv, theirs)
+	w.Traffic.Bytes.Add(int64(16 * len(recv)))
+	// Handshake so neither side reuses its send buffer early.
+	w.pairAck[c.rank][partner] <- struct{}{}
+	<-w.pairAck[partner][c.rank]
+	// Step counting is left to the caller: one machine-wide round of
+	// pairwise exchanges is a single communication step regardless of the
+	// number of pairs.
+}
+
+// AddSteps lets engines record communication steps for operations (like a
+// machine-wide round of pairwise exchanges) whose step structure the
+// primitives cannot see. Call from a single rank.
+func (c *Comm) AddSteps(n int) { c.w.Traffic.Steps.Add(int64(n)) }
+
+// barrier is a reusable sense-counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	if b.n == 1 {
+		return
+	}
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

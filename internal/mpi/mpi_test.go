@@ -1,0 +1,235 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(8)
+	var before, after atomic.Int64
+	err := w.Run(func(c *Comm) error {
+		before.Add(1)
+		c.Barrier()
+		if got := before.Load(); got != 8 {
+			return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), got)
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 8 {
+		t.Fatalf("only %d ranks finished", after.Load())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	w := NewWorld(4)
+	counters := make([]int64, 100)
+	err := w.Run(func(c *Comm) error {
+		for i := range counters {
+			atomic.AddInt64(&counters[i], 1)
+			c.Barrier()
+			if atomic.LoadInt64(&counters[i]) != 4 {
+				return fmt.Errorf("iteration %d: barrier leaked", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallTransposes(t *testing.T) {
+	const size = 8
+	const chunk = 16
+	w := NewWorld(size)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]complex128, size)
+		recv := make([][]complex128, size)
+		for j := 0; j < size; j++ {
+			send[j] = make([]complex128, chunk)
+			recv[j] = make([]complex128, chunk)
+			for i := range send[j] {
+				send[j][i] = complex(float64(c.Rank()), float64(j*chunk+i))
+			}
+		}
+		c.Alltoall(send, recv)
+		for src := 0; src < size; src++ {
+			for i := 0; i < chunk; i++ {
+				want := complex(float64(src), float64(c.Rank()*chunk+i))
+				if recv[src][i] != want {
+					return fmt.Errorf("rank %d recv[%d][%d] = %v, want %v", c.Rank(), src, i, recv[src][i], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Traffic.Steps.Load(); got != 1 {
+		t.Errorf("steps = %d, want 1", got)
+	}
+	wantBytes := int64(16 * chunk * size * (size - 1))
+	if got := w.Traffic.Bytes.Load(); got != wantBytes {
+		t.Errorf("bytes = %d, want %d", got, wantBytes)
+	}
+}
+
+func TestGroupAlltoallMatchesManualGroups(t *testing.T) {
+	// 8 ranks, groups over bit 1: members {r, r^2}. Each member sends two
+	// chunks.
+	const size = 8
+	w := NewWorld(size)
+	err := w.Run(func(c *Comm) error {
+		send := [][]complex128{
+			{complex(float64(c.Rank()), 0)},
+			{complex(float64(c.Rank()), 1)},
+		}
+		recv := [][]complex128{make([]complex128, 1), make([]complex128, 1)}
+		c.GroupAlltoall([]int{1}, send, recv)
+		me := (c.Rank() >> 1) & 1
+		for j := 0; j < 2; j++ {
+			srcRank := c.Rank() &^ 2
+			if j == 1 {
+				srcRank |= 2
+			}
+			want := complex(float64(srcRank), float64(me))
+			if recv[j][0] != want {
+				return fmt.Errorf("rank %d recv[%d] = %v, want %v", c.Rank(), j, recv[j][0], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAlltoallFullMaskEqualsWorld(t *testing.T) {
+	const size = 4
+	runOne := func(group bool) [][]complex128 {
+		w := NewWorld(size)
+		results := make([][]complex128, size)
+		err := w.Run(func(c *Comm) error {
+			send := make([][]complex128, size)
+			recv := make([][]complex128, size)
+			for j := range send {
+				send[j] = []complex128{complex(float64(c.Rank()*10+j), 0)}
+				recv[j] = make([]complex128, 1)
+			}
+			if group {
+				c.GroupAlltoall([]int{0, 1}, send, recv)
+			} else {
+				c.Alltoall(send, recv)
+			}
+			flat := make([]complex128, size)
+			for j := range recv {
+				flat[j] = recv[j][0]
+			}
+			results[c.Rank()] = flat
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		return results
+	}
+	a := runOne(false)
+	b := runOne(true)
+	for r := range a {
+		for j := range a[r] {
+			if a[r][j] != b[r][j] {
+				t.Fatalf("rank %d chunk %d: world %v vs group %v", r, j, a[r][j], b[r][j])
+			}
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(6)
+	err := w.Run(func(c *Comm) error {
+		got := c.AllreduceSum(float64(c.Rank() + 1))
+		if math.Abs(got-21) > 1e-12 {
+			return fmt.Errorf("rank %d: sum = %v, want 21", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			got := c.AllreduceSum(float64(i))
+			if got != float64(4*i) {
+				return fmt.Errorf("iteration %d: %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairExchange(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		partner := c.Rank() ^ 1
+		send := []complex128{complex(float64(c.Rank()), 0)}
+		recv := make([]complex128, 1)
+		c.PairExchange(partner, send, recv)
+		if recv[0] != complex(float64(partner), 0) {
+			return fmt.Errorf("rank %d got %v from partner %d", c.Rank(), recv[0], partner)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Traffic.Bytes.Load() != 4*16 {
+		t.Errorf("bytes = %d, want 64", w.Traffic.Bytes.Load())
+	}
+}
+
+func TestPairExchangeSelf(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) error {
+		send := []complex128{42}
+		recv := make([]complex128, 1)
+		c.PairExchange(0, send, recv)
+		if recv[0] != 42 {
+			return fmt.Errorf("self exchange got %v", recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Traffic.Bytes.Load() != 0 {
+		t.Errorf("self exchange counted %d bytes", w.Traffic.Bytes.Load())
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Errorf("err = %v, want boom", err)
+	}
+}

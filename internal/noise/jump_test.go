@@ -1,0 +1,87 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/gate"
+	"qusim/internal/statevec"
+)
+
+func TestAmplitudeDampingChannelValid(t *testing.T) {
+	ch := AmplitudeDampingChannel(0.3)
+	if err := ch.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpRejectsBadChannel(t *testing.T) {
+	c := circuit.GHZ(3)
+	rng := rand.New(rand.NewSource(1))
+	bad := KrausChannel{Name: "bad", Ops: []gate.Matrix{gate.H().Scale(0.5)}}
+	if _, err := JumpTrajectory(c, bad, rng); err == nil {
+		t.Error("non-trace-preserving channel accepted")
+	}
+	if _, err := RunJumps(c, AmplitudeDampingChannel(0.1), 0, rng); err == nil {
+		t.Error("zero trajectories accepted")
+	}
+}
+
+func TestJumpTrajectoryNormalized(t *testing.T) {
+	c := circuit.Supremacy(circuit.SupremacyOptions{Rows: 3, Cols: 2, Depth: 10, Seed: 3})
+	rng := rand.New(rand.NewSource(2))
+	v, err := JumpTrajectory(c, AmplitudeDampingChannel(0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Norm()-1) > 1e-9 {
+		t.Errorf("trajectory norm %v", v.Norm())
+	}
+}
+
+func TestDampingDrivesToGroundState(t *testing.T) {
+	// Strong damping after every gate pushes a single-qubit circuit toward
+	// |0⟩.
+	c := circuit.NewCircuit(1)
+	for i := 0; i < 30; i++ {
+		c.Append(circuit.NewH(0))
+	}
+	rng := rand.New(rand.NewSource(3))
+	res, err := RunJumps(c, AmplitudeDampingChannel(0.9), 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After H the state is (|0⟩+|1⟩)/√2; damping with γ=0.9 sends almost
+	// all |1⟩ population to |0⟩: P(0) should dominate strongly.
+	if res.MeanProbs[0] < 0.85 {
+		t.Errorf("P(0) = %v under strong damping, want > 0.85", res.MeanProbs[0])
+	}
+}
+
+func TestZeroDampingIsIdeal(t *testing.T) {
+	c := circuit.GHZ(4)
+	rng := rand.New(rand.NewSource(4))
+	res, err := RunJumps(c, AmplitudeDampingChannel(0), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanFidelity-1) > 1e-9 {
+		t.Errorf("zero damping fidelity %v", res.MeanFidelity)
+	}
+}
+
+func TestExpectation2x2(t *testing.T) {
+	// ⟨ψ|K†K|ψ⟩ for the damping jump operator on |1⟩ must be γ.
+	v := statevec.New(2)
+	v.Apply(gate.X(), 1)
+	ch := AmplitudeDampingChannel(0.3)
+	m := gate.Mul(ch.Ops[1].Dagger(), ch.Ops[1])
+	if p := expectation2x2(v, 1, m); math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("jump probability %v, want 0.3", p)
+	}
+	if p := expectation2x2(v, 0, m); math.Abs(p) > 1e-12 {
+		t.Errorf("jump probability on |0⟩ qubit %v, want 0", p)
+	}
+}

@@ -1,0 +1,328 @@
+// Package oocvec implements an out-of-core (file-backed) state vector —
+// the Sec. 5 outlook of Häner & Steiger, SC'17: because the scheduled
+// circuits need only two all-to-alls, "the low amount of communication may
+// allow the use of, e.g., solid-state drives" for states larger than
+// memory (8 PB for 49 qubits).
+//
+// The file is divided into 2^g chunks of 2^l amplitudes; chunk-index bits
+// play the role of the global qubits. Gates on in-chunk positions stream
+// chunk by chunk (one sequential read + write pass); diagonal gates on
+// chunk bits specialize exactly like global gates; and the global-to-local
+// swap is the file analogue of the all-to-all: a block-transposing copy
+// into a second file.
+package oocvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"qusim/internal/kernels"
+	"qusim/internal/schedule"
+)
+
+// Vector is an n-qubit state stored in a file, processed in 2^l-amplitude
+// chunks.
+type Vector struct {
+	N int // total qubits
+	L int // in-memory chunk holds 2^L amplitudes
+
+	f   *os.File
+	buf []complex128 // one chunk
+}
+
+const ampBytes = 16
+
+// New creates a file-backed |0…0⟩ state in dir (empty dir means the
+// default temp dir). l controls the in-memory chunk size.
+func New(n, l int, dir string) (*Vector, error) {
+	if l >= n {
+		return nil, fmt.Errorf("oocvec: chunk qubits l=%d must be < n=%d", l, n)
+	}
+	if l < 1 || n > 40 {
+		return nil, fmt.Errorf("oocvec: unsupported sizes n=%d l=%d", n, l)
+	}
+	f, err := os.CreateTemp(dir, "oocvec-*.state")
+	if err != nil {
+		return nil, err
+	}
+	v := &Vector{N: n, L: l, f: f, buf: make([]complex128, 1<<l)}
+	// Initialize to zero; first chunk carries amplitude 1 at index 0.
+	for c := 0; c < v.Chunks(); c++ {
+		for i := range v.buf {
+			v.buf[i] = 0
+		}
+		if c == 0 {
+			v.buf[0] = 1
+		}
+		if err := v.writeChunk(c, v.buf); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// NewUniform creates the uniform superposition.
+func NewUniform(n, l int, dir string) (*Vector, error) {
+	v, err := New(n, l, dir)
+	if err != nil {
+		return nil, err
+	}
+	a := complex(math.Pow(2, -float64(n)/2), 0)
+	for i := range v.buf {
+		v.buf[i] = a
+	}
+	for c := 0; c < v.Chunks(); c++ {
+		if err := v.writeChunk(c, v.buf); err != nil {
+			v.Close()
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Close removes the backing file.
+func (v *Vector) Close() error {
+	name := v.f.Name()
+	err := v.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Chunks returns the number of file chunks, 2^(N−L).
+func (v *Vector) Chunks() int { return 1 << (v.N - v.L) }
+
+func (v *Vector) readChunk(c int, dst []complex128) error {
+	off := int64(c) << uint(v.L) * ampBytes
+	if _, err := v.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	return binary.Read(v.f, binary.LittleEndian, dst)
+}
+
+func (v *Vector) writeChunk(c int, src []complex128) error {
+	off := int64(c) << uint(v.L) * ampBytes
+	if _, err := v.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	return binary.Write(v.f, binary.LittleEndian, src)
+}
+
+// ApplyOp executes one plan op. Cluster positions must be below L (the
+// scheduler guarantees this when built with LocalQubits = L); diagonal ops
+// may touch chunk-index positions; OpSwap exchanges the top in-chunk
+// positions with chunk-index positions; OpLocalPerm permutes in-chunk
+// positions.
+func (v *Vector) ApplyOp(op *schedule.Op) error {
+	switch op.Kind {
+	case schedule.OpCluster:
+		return v.streamChunks(func(c int, amps []complex128) {
+			kernels.Apply(kernels.Specialized, amps, op.Matrix.Data, op.Positions, nil)
+		})
+	case schedule.OpDiagonal:
+		nl := 0
+		for nl < len(op.Positions) && op.Positions[nl] < v.L {
+			nl++
+		}
+		return v.streamChunks(func(c int, amps []complex128) {
+			gbits := 0
+			for j := nl; j < len(op.Positions); j++ {
+				if c&(1<<(op.Positions[j]-v.L)) != 0 {
+					gbits |= 1 << (j - nl)
+				}
+			}
+			if nl == 0 {
+				kernels.Scale(amps, op.Diag[gbits])
+				return
+			}
+			kernels.ApplyDiagonal(amps, op.Diag[gbits<<nl:(gbits+1)<<nl], op.Positions[:nl])
+		})
+	case schedule.OpLocalPerm:
+		return v.streamChunks(func(c int, amps []complex128) {
+			permuteBits(amps, v.L, op.Perm)
+		})
+	case schedule.OpSwap:
+		return v.swap(op)
+	}
+	return fmt.Errorf("oocvec: unknown op kind %v", op.Kind)
+}
+
+// streamChunks runs fn over every chunk with one sequential read+write
+// pass — the access pattern that makes SSD-backed state practical.
+func (v *Vector) streamChunks(fn func(chunk int, amps []complex128)) error {
+	for c := 0; c < v.Chunks(); c++ {
+		if err := v.readChunk(c, v.buf); err != nil {
+			return err
+		}
+		fn(c, v.buf)
+		if err := v.writeChunk(c, v.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// swap is the file analogue of the group all-to-all: in-chunk positions
+// [L−q, L) are exchanged with the chunk-index positions in op.GlobalPos.
+// Sub-blocks are copied through a second file, then the files swap roles.
+func (v *Vector) swap(op *schedule.Op) error {
+	q := len(op.LocalPos)
+	for j, p := range op.LocalPos {
+		if p != v.L-q+j {
+			return fmt.Errorf("oocvec: swap local positions %v are not the top %d in-chunk locations", op.LocalPos, q)
+		}
+	}
+	bitPos := make([]int, q) // chunk-index bit for each swapped position
+	for j, p := range op.GlobalPos {
+		bitPos[j] = p - v.L
+	}
+	out, err := os.CreateTemp("", "oocvec-*.swap")
+	if err != nil {
+		return err
+	}
+	sub := len(v.buf) >> q // sub-block length
+	block := make([]complex128, sub)
+	// Destination chunk d receives, as its m-th sub-block, the d-bits
+	// sub-block of the source chunk that has member index m.
+	for c := 0; c < v.Chunks(); c++ {
+		if err := v.readChunk(c, v.buf); err != nil {
+			out.Close()
+			os.Remove(out.Name())
+			return err
+		}
+		// Member index of chunk c within its group.
+		m := 0
+		for t, b := range bitPos {
+			if c&(1<<b) != 0 {
+				m |= 1 << t
+			}
+		}
+		for j := 0; j < 1<<q; j++ {
+			// Sub-block j of chunk c goes to the group member with index
+			// j, landing at sub-block m.
+			dst := c
+			for t, b := range bitPos {
+				dst &^= 1 << b
+				if j&(1<<t) != 0 {
+					dst |= 1 << b
+				}
+			}
+			copy(block, v.buf[j*sub:(j+1)*sub])
+			off := (int64(dst)<<uint(v.L) + int64(m)*int64(sub)) * ampBytes
+			if _, err := out.Seek(off, io.SeekStart); err != nil {
+				out.Close()
+				os.Remove(out.Name())
+				return err
+			}
+			if err := binary.Write(out, binary.LittleEndian, block); err != nil {
+				out.Close()
+				os.Remove(out.Name())
+				return err
+			}
+		}
+	}
+	old := v.f
+	v.f = out
+	name := old.Name()
+	old.Close()
+	return os.Remove(name)
+}
+
+// Run executes a full plan built with LocalQubits = L.
+func (v *Vector) Run(plan *schedule.Plan) error {
+	if plan.N != v.N || plan.L != v.L {
+		return fmt.Errorf("oocvec: plan (n=%d l=%d) does not match vector (n=%d l=%d)", plan.N, plan.L, v.N, v.L)
+	}
+	for i := range plan.Ops {
+		if err := v.ApplyOp(&plan.Ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Norm returns Σ|α|² by streaming the file.
+func (v *Vector) Norm() (float64, error) {
+	var s float64
+	for c := 0; c < v.Chunks(); c++ {
+		if err := v.readChunk(c, v.buf); err != nil {
+			return 0, err
+		}
+		for _, a := range v.buf {
+			s += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return s, nil
+}
+
+// Entropy returns the output distribution's Shannon entropy in nats.
+func (v *Vector) Entropy() (float64, error) {
+	var s float64
+	for c := 0; c < v.Chunks(); c++ {
+		if err := v.readChunk(c, v.buf); err != nil {
+			return 0, err
+		}
+		for _, a := range v.buf {
+			p := real(a)*real(a) + imag(a)*imag(a)
+			if p > 0 {
+				s -= p * math.Log(p)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Amplitudes loads the full state (testing only).
+func (v *Vector) Amplitudes() ([]complex128, error) {
+	out := make([]complex128, 1<<v.N)
+	for c := 0; c < v.Chunks(); c++ {
+		if err := v.readChunk(c, out[c<<uint(v.L):(c+1)<<uint(v.L)]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// permuteBits relabels in-chunk bit p to perm[p] (same algorithm as
+// statevec.PermuteBits, on a raw slice).
+func permuteBits(amps []complex128, n int, perm []int) {
+	cur := make([]int, n)
+	loc := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+		loc[i] = i
+	}
+	for p := 0; p < n; p++ {
+		want := perm[p]
+		have := cur[p]
+		if have == want {
+			continue
+		}
+		swapBits(amps, have, want)
+		other := loc[want]
+		cur[p], cur[other] = want, have
+		loc[have], loc[want] = other, p
+	}
+}
+
+func swapBits(amps []complex128, a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	maskA := 1<<a - 1
+	maskB := 1<<b - 1
+	sa, sb := 1<<a, 1<<b
+	for t := 0; t < len(amps)>>2; t++ {
+		base := ((t &^ maskA) << 1) | (t & maskA)
+		base = ((base &^ maskB) << 1) | (base & maskB)
+		i01 := base | sa
+		i10 := base | sb
+		amps[i01], amps[i10] = amps[i10], amps[i01]
+	}
+}

@@ -1,0 +1,141 @@
+package oocvec
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/schedule"
+	"qusim/internal/statevec"
+)
+
+func buildPlan(t *testing.T, n, l, depth int, seed int64) (*circuit.Circuit, *schedule.Plan) {
+	t.Helper()
+	r, c := circuit.GridForQubits(n)
+	circ := circuit.Supremacy(circuit.SupremacyOptions{
+		Rows: r, Cols: c, Depth: depth, Seed: seed, SkipInitialH: true,
+	})
+	plan, err := schedule.Build(circ, schedule.DefaultOptions(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return circ, plan
+}
+
+func TestOutOfCoreMatchesInMemory(t *testing.T) {
+	n, l := 12, 8
+	circ, plan := buildPlan(t, n, l, 14, 5)
+
+	ooc, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+	if err := ooc.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	want := statevec.NewUniform(n)
+	for i := range circ.Gates {
+		g := &circ.Gates[i]
+		want.Apply(g.Matrix(), g.Qubits...)
+	}
+	got, err := ooc.Amplitudes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxd float64
+	for b := 0; b < 1<<n; b++ {
+		d := cmplx.Abs(want.Amplitude(b) - got[plan.PermutedIndex(b)])
+		if d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-9 {
+		t.Fatalf("out-of-core result deviates from in-memory: max diff %g", maxd)
+	}
+}
+
+func TestOutOfCoreZeroInit(t *testing.T) {
+	n, l := 10, 6
+	circ, plan := buildPlan(t, n, l, 10, 6)
+	ooc, err := New(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+	if err := ooc.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	want := statevec.New(n)
+	for i := range circ.Gates {
+		g := &circ.Gates[i]
+		want.Apply(g.Matrix(), g.Qubits...)
+	}
+	got, err := ooc.Amplitudes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 1<<n; b++ {
+		if cmplx.Abs(want.Amplitude(b)-got[plan.PermutedIndex(b)]) > 1e-9 {
+			t.Fatalf("amplitude %d deviates", b)
+		}
+	}
+}
+
+func TestNormAndEntropyStreaming(t *testing.T) {
+	n, l := 10, 6
+	circ, plan := buildPlan(t, n, l, 12, 7)
+	ooc, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ooc.Close()
+	if err := ooc.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := ooc.Norm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("norm %v", norm)
+	}
+	want := statevec.NewUniform(n)
+	for i := range circ.Gates {
+		g := &circ.Gates[i]
+		want.Apply(g.Matrix(), g.Qubits...)
+	}
+	ent, err := ooc.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ent-want.Entropy()) > 1e-9 {
+		t.Errorf("entropy %v, want %v", ent, want.Entropy())
+	}
+}
+
+func TestChunksAndValidation(t *testing.T) {
+	v, err := New(8, 5, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if v.Chunks() != 8 {
+		t.Errorf("Chunks() = %d, want 8", v.Chunks())
+	}
+	if _, err := New(8, 8, t.TempDir()); err == nil {
+		t.Error("l >= n accepted")
+	}
+	// Plan with mismatched layout must be rejected.
+	_, plan := buildPlanHelper(t)
+	if err := v.Run(plan); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+}
+
+func buildPlanHelper(t *testing.T) (*circuit.Circuit, *schedule.Plan) {
+	t.Helper()
+	return buildPlan(t, 10, 6, 8, 1)
+}

@@ -1,0 +1,107 @@
+// Package par is the shared-memory parallel layer of the simulator — the
+// stand-in for the OpenMP layer of Sec. 3.3 of Häner & Steiger. Loops over
+// the state vector are statically chunked across a set of goroutine workers,
+// mirroring OpenMP's static schedule with the collapse directive (the
+// iteration space handed to For is already the collapsed, flat outer loop).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var workers atomic.Int64
+
+func init() {
+	workers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetWorkers sets the number of parallel workers used by For. n < 1 resets
+// to GOMAXPROCS. It returns the previous value. The strong-scaling
+// experiments (Fig. 7 and Fig. 10) sweep this knob.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// Workers returns the current worker count.
+func Workers() int { return int(workers.Load()) }
+
+// For runs f over [0, n) split into contiguous chunks, one chunk per worker,
+// mimicking OpenMP static scheduling. grain is the minimum chunk size; work
+// smaller than one grain runs inline on the caller. f must be safe to call
+// concurrently on disjoint ranges.
+func For(n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w > n/grain {
+		w = n / grain
+	}
+	if w <= 1 {
+		f(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 runs f over [0, n) in parallel chunks; each chunk returns a
+// partial float64 which is summed. Used for norms, probabilities and the
+// entropy reduction of Sec. 4.2.2.
+func ReduceFloat64(n, grain int, f func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w > n/grain {
+		w = n / grain
+	}
+	if w <= 1 {
+		return f(0, n)
+	}
+	chunk := (n + w - 1) / w
+	parts := make([]float64, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	idx := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			parts[slot] = f(lo, hi)
+		}(idx, lo, hi)
+		idx++
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	old := SetWorkers(4)
+	defer SetWorkers(old)
+	for _, n := range []int{0, 1, 7, 100, 1024} {
+		seen := make([]int32, n)
+		For(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForRespectsGrainInline(t *testing.T) {
+	old := SetWorkers(8)
+	defer SetWorkers(old)
+	calls := 0
+	// n < grain ⇒ must run inline in a single call.
+	For(10, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Errorf("inline call got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("expected 1 inline call, got %d", calls)
+	}
+}
+
+func TestReduceFloat64Sums(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	n := 1000
+	got := ReduceFloat64(n, 1, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	want := float64(n*(n-1)) / 2
+	if got != want {
+		t.Errorf("reduce = %v, want %v", got, want)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	if got := ReduceFloat64(0, 1, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Errorf("empty reduce = %v", got)
+	}
+}
+
+func TestSetWorkersResets(t *testing.T) {
+	old := SetWorkers(5)
+	if Workers() != 5 {
+		t.Errorf("Workers() = %d, want 5", Workers())
+	}
+	SetWorkers(0) // reset to GOMAXPROCS
+	if Workers() < 1 {
+		t.Errorf("Workers() = %d after reset", Workers())
+	}
+	SetWorkers(old)
+}

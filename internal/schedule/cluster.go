@@ -1,0 +1,224 @@
+package schedule
+
+import (
+	"math/bits"
+)
+
+// stageOp is an intermediate operation of one stage: either a cluster of
+// gates to fuse, or a single specialized diagonal gate touching global
+// qubits. gates holds circuit gate indices in program order.
+type stageOp struct {
+	cluster bool
+	gates   []int
+}
+
+// clusterStage greedily merges the stage's gates into clusters of at most
+// KMax qubits (Sec. 3.6.1 step 2). Gates acting on a global qubit are
+// specialized diagonal gates and are emitted as singleton ops. A small
+// local search tries every ready gate as the cluster seed and keeps the
+// cluster that merges the most gates.
+func (b *builder) clusterStage(sel []int, resident uint64) []stageOp {
+	n := len(sel)
+	if n == 0 {
+		return nil
+	}
+	// Per-qubit queues of stage-local gate indices.
+	queues := make(map[int][]int)
+	for si, gi := range sel {
+		for _, q := range b.c.Gates[gi].Qubits {
+			queues[q] = append(queues[q], si)
+		}
+	}
+	ptr := make(map[int]int, len(queues))
+	assigned := make([]bool, n)
+	remaining := n
+
+	isLocal := func(si int) bool {
+		return b.qubitMask(&b.c.Gates[sel[si]])&^resident == 0
+	}
+	// ready reports whether si is the front gate of all its qubits.
+	ready := func(si int, pt map[int]int) bool {
+		for _, q := range b.c.Gates[sel[si]].Qubits {
+			queue := queues[q]
+			p := pt[q]
+			if p >= len(queue) || queue[p] != si {
+				return false
+			}
+		}
+		return true
+	}
+	advance := func(si int, pt map[int]int, asg []bool) {
+		asg[si] = true
+		for _, q := range b.c.Gates[sel[si]].Qubits {
+			pt[q]++
+		}
+	}
+
+	var out []stageOp
+	kmax := b.opts.KMax
+
+	for remaining > 0 {
+		// 1) Drain ready specialized diagonal gates on global qubits —
+		// they cost no communication and no kernel invocation.
+		progressed := true
+		for progressed {
+			progressed = false
+			for si := 0; si < n; si++ {
+				if assigned[si] || isLocal(si) || !ready(si, ptr) {
+					continue
+				}
+				advance(si, ptr, assigned)
+				remaining--
+				out = append(out, stageOp{cluster: false, gates: []int{sel[si]}})
+				progressed = true
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// 2) Grow the best cluster among ready local gates.
+		var seeds []int
+		for si := 0; si < n; si++ {
+			if !assigned[si] && isLocal(si) && ready(si, ptr) {
+				seeds = append(seeds, si)
+			}
+		}
+		if len(seeds) == 0 {
+			// Cannot happen: the earliest unassigned gate is always ready,
+			// and if it were global it would have drained above.
+			panic("schedule: no ready gates during clustering")
+		}
+		if !b.opts.Clustering {
+			// Ablation mode: each gate is its own cluster, in order.
+			si := seeds[0]
+			for _, s := range seeds {
+				if s < si {
+					si = s
+				}
+			}
+			advance(si, ptr, assigned)
+			remaining--
+			out = append(out, stageOp{cluster: true, gates: []int{sel[si]}})
+			continue
+		}
+		if b.opts.NoSeedSearch {
+			// Ablation: earliest ready gate seeds, no alternatives tried.
+			seed := seeds[0]
+			for _, s := range seeds {
+				if s < seed {
+					seed = s
+				}
+			}
+			seeds = seeds[:1]
+			seeds[0] = seed
+		}
+		best := b.growCluster(seeds[0], sel, queues, ptr, assigned, isLocal, kmax)
+		for _, seed := range seeds[1:] {
+			cand := b.growCluster(seed, sel, queues, ptr, assigned, isLocal, kmax)
+			if len(cand.members) > len(best.members) ||
+				(len(cand.members) == len(best.members) &&
+					(bits.OnesCount64(cand.qubits) < bits.OnesCount64(best.qubits) ||
+						(bits.OnesCount64(cand.qubits) == bits.OnesCount64(best.qubits) && cand.members[0] < best.members[0]))) {
+				best = cand
+			}
+		}
+		gates := make([]int, len(best.members))
+		for i, si := range best.members {
+			gates[i] = sel[si]
+			advance(si, ptr, assigned)
+		}
+		remaining -= len(best.members)
+		out = append(out, stageOp{cluster: true, gates: gates})
+	}
+	return out
+}
+
+type grownCluster struct {
+	members []int // stage-local indices, in program order of admission
+	qubits  uint64
+}
+
+// growCluster simulates growing a cluster from seed: repeatedly admit ready
+// local gates whose qubits are a subset of the cluster (free growth), and
+// when none remain, admit the ready gate that grows the qubit set least
+// while staying within kmax.
+func (b *builder) growCluster(seed int, sel []int, queues map[int][]int, ptr map[int]int, assigned []bool, isLocal func(int) bool, kmax int) grownCluster {
+	pt := make(map[int]int, len(ptr))
+	for q, p := range ptr {
+		pt[q] = p
+	}
+	asg := make([]bool, len(assigned))
+	copy(asg, assigned)
+
+	ready := func(si int) bool {
+		for _, q := range b.c.Gates[sel[si]].Qubits {
+			queue := queues[q]
+			p := pt[q]
+			if p >= len(queue) || queue[p] != si {
+				return false
+			}
+		}
+		return true
+	}
+	advance := func(si int) {
+		asg[si] = true
+		for _, q := range b.c.Gates[sel[si]].Qubits {
+			pt[q]++
+		}
+	}
+
+	g := grownCluster{}
+	qm := b.qubitMask(&b.c.Gates[sel[seed]])
+	if bits.OnesCount64(qm) > kmax {
+		// A single gate larger than kmax still becomes its own cluster.
+		g.members = []int{seed}
+		g.qubits = qm
+		return g
+	}
+	g.qubits = qm
+	g.members = append(g.members, seed)
+	advance(seed)
+
+	for {
+		// Free growth: subset gates first.
+		progressed := true
+		for progressed {
+			progressed = false
+			for si := range sel {
+				if asg[si] || !isLocal(si) || !ready(si) {
+					continue
+				}
+				m := b.qubitMask(&b.c.Gates[sel[si]])
+				if m&^g.qubits == 0 {
+					g.members = append(g.members, si)
+					advance(si)
+					progressed = true
+				}
+			}
+		}
+		// Minimal-growth extension.
+		bestSi, bestGrow := -1, kmax+1
+		for si := range sel {
+			if asg[si] || !isLocal(si) || !ready(si) {
+				continue
+			}
+			m := b.qubitMask(&b.c.Gates[sel[si]])
+			grow := bits.OnesCount64(m &^ g.qubits)
+			if grow == 0 {
+				continue // handled above; defensive
+			}
+			if bits.OnesCount64(g.qubits)+grow > kmax {
+				continue
+			}
+			if grow < bestGrow {
+				bestGrow, bestSi = grow, si
+			}
+		}
+		if bestSi < 0 {
+			return g
+		}
+		g.qubits |= b.qubitMask(&b.c.Gates[sel[bestSi]])
+		g.members = append(g.members, bestSi)
+		advance(bestSi)
+	}
+}

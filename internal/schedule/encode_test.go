@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"bytes"
+	"testing"
+
+	"qusim/internal/statevec"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	c := supremacy(12, 16, 90)
+	plan, err := Build(c, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != plan.N || got.L != plan.L || len(got.Ops) != len(plan.Ops) {
+		t.Fatalf("round trip mismatch: n=%d l=%d ops=%d", got.N, got.L, len(got.Ops))
+	}
+	if got.Stats.Swaps != plan.Stats.Swaps || got.Stats.Clusters != plan.Stats.Clusters {
+		t.Errorf("stats mismatch after round trip")
+	}
+	// Executing the deserialized plan must give identical results.
+	a := statevec.NewUniform(c.N)
+	b := statevec.NewUniform(c.N)
+	if err := plan.Run(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.MaxDiff(b); d != 0 {
+		t.Errorf("deserialized plan diverges: max diff %g", d)
+	}
+}
+
+func TestReadPlanRejectsGarbage(t *testing.T) {
+	if _, err := ReadPlan(bytes.NewReader([]byte("not a plan"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadPlan(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadPlanValidates(t *testing.T) {
+	c := supremacy(9, 8, 91)
+	plan, err := Build(c, DefaultOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the position map and re-encode.
+	bad := *plan
+	bad.FinalPos = append([]int(nil), plan.FinalPos...)
+	bad.FinalPos[0] = bad.FinalPos[1]
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlan(&buf); err == nil {
+		t.Error("non-permutation position map accepted")
+	}
+}

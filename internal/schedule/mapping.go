@@ -1,0 +1,143 @@
+package schedule
+
+import "sort"
+
+// heuristicMapping implements the qubit-mapping heuristic of Sec. 3.6.2:
+// assign bit locations so that as many clusters as possible act on
+// low-order locations, where the cache set-associativity penalty of
+// high-stride accesses (Fig. 6 / Fig. 9) does not bite.
+//
+// Locations 0–3 are assigned, in turn, to the qubit appearing in the most
+// clusters; clusters acting on an already-assigned location are then
+// ignored. Locations 4–7 are assigned the same way, except that after each
+// step only clusters acting on two of these four locations are ignored.
+// Remaining local locations go to qubits by descending residual cluster
+// count; global locations keep qubit-index order.
+func heuristicMapping(n, l int, resident uint64, clusters [][]int) []int {
+	pos := make([]int, n)
+	for q := range pos {
+		pos[q] = -1
+	}
+	isResident := func(q int) bool { return resident&(1<<uint(q)) != 0 }
+
+	// Live cluster set, as qubit lists restricted to resident qubits.
+	type cl struct {
+		qubits   []int
+		assigned int // # qubits assigned to locations 4–7
+		dead     bool
+	}
+	var live []*cl
+	for _, qs := range clusters {
+		c := &cl{}
+		for _, q := range qs {
+			if isResident(q) {
+				c.qubits = append(c.qubits, q)
+			}
+		}
+		if len(c.qubits) > 0 {
+			live = append(live, c)
+		}
+	}
+
+	assignedTo := make([]bool, n)
+	freq := func() map[int]int {
+		f := map[int]int{}
+		for _, c := range live {
+			if c.dead {
+				continue
+			}
+			for _, q := range c.qubits {
+				if !assignedTo[q] {
+					f[q]++
+				}
+			}
+		}
+		return f
+	}
+	pickMax := func() int {
+		f := freq()
+		best, bestQ := -1, -1
+		for q := 0; q < n; q++ {
+			if !isResident(q) || assignedTo[q] {
+				continue
+			}
+			if f[q] > best {
+				best, bestQ = f[q], q
+			}
+		}
+		return bestQ
+	}
+
+	nextLoc := 0
+	// Locations 0–3: drop covered clusters entirely.
+	for ; nextLoc < 4 && nextLoc < l; nextLoc++ {
+		q := pickMax()
+		if q < 0 {
+			break
+		}
+		pos[q] = nextLoc
+		assignedTo[q] = true
+		for _, c := range live {
+			if c.dead {
+				continue
+			}
+			for _, cq := range c.qubits {
+				if cq == q {
+					c.dead = true
+					break
+				}
+			}
+		}
+	}
+	// Locations 4–7: a cluster is dropped once two of its qubits sit in
+	// this location group.
+	for ; nextLoc < 8 && nextLoc < l; nextLoc++ {
+		q := pickMax()
+		if q < 0 {
+			break
+		}
+		pos[q] = nextLoc
+		assignedTo[q] = true
+		for _, c := range live {
+			if c.dead {
+				continue
+			}
+			for _, cq := range c.qubits {
+				if cq == q {
+					c.assigned++
+					break
+				}
+			}
+			if c.assigned >= 2 {
+				c.dead = true
+			}
+		}
+	}
+	// Remaining local locations: descending residual frequency, then index.
+	var restQ []int
+	f := freq()
+	for q := 0; q < n; q++ {
+		if isResident(q) && !assignedTo[q] {
+			restQ = append(restQ, q)
+		}
+	}
+	sort.Slice(restQ, func(i, j int) bool {
+		if f[restQ[i]] != f[restQ[j]] {
+			return f[restQ[i]] > f[restQ[j]]
+		}
+		return restQ[i] < restQ[j]
+	})
+	for _, q := range restQ {
+		pos[q] = nextLoc
+		nextLoc++
+	}
+	// Global locations in qubit order.
+	g := l
+	for q := 0; q < n; q++ {
+		if !isResident(q) {
+			pos[q] = g
+			g++
+		}
+	}
+	return pos
+}

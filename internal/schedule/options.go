@@ -1,0 +1,131 @@
+// Package schedule implements the circuit optimizations of Sec. 3.6 of
+// Häner & Steiger, SC'17: gate scheduling into communication-free stages,
+// greedy clustering of gates into k ≤ kmax qubit fused gates, local
+// adjustment of global-to-local swaps across stage boundaries, and the
+// qubit-mapping heuristic. Its output is an executable Plan consumed by the
+// single-node executor in this package and by the distributed engine in
+// package dist.
+package schedule
+
+import "fmt"
+
+// SwapPolicy selects how the residency set of the next stage is chosen at a
+// global-to-local swap.
+type SwapPolicy int
+
+const (
+	// SwapGreedy is the paper's "cheap search algorithm to find better
+	// local qubits to swap with": the next resident set is built by walking
+	// the remaining circuit and admitting the qubits of the longest
+	// schedulable prefix, keeping still-useful residents.
+	SwapGreedy SwapPolicy = iota
+	// SwapLowestOrder is the paper's baseline upper bound: every global
+	// qubit is swapped in, evicting the lowest-order local qubits
+	// regardless of whether they are needed soon.
+	SwapLowestOrder
+)
+
+func (p SwapPolicy) String() string {
+	switch p {
+	case SwapGreedy:
+		return "greedy"
+	case SwapLowestOrder:
+		return "lowest-order"
+	}
+	return fmt.Sprintf("SwapPolicy(%d)", int(p))
+}
+
+// MappingPolicy selects the initial qubit → bit-location assignment.
+type MappingPolicy int
+
+const (
+	// MapIdentity assigns resident qubits to local bit locations in qubit
+	// order.
+	MapIdentity MappingPolicy = iota
+	// MapHeuristic applies the cache-associativity-aware heuristic of
+	// Sec. 3.6.2: hot qubits (those appearing in the most clusters) are
+	// assigned the low-order bit locations.
+	MapHeuristic
+)
+
+func (p MappingPolicy) String() string {
+	switch p {
+	case MapIdentity:
+		return "identity"
+	case MapHeuristic:
+		return "heuristic"
+	}
+	return fmt.Sprintf("MappingPolicy(%d)", int(p))
+}
+
+// Options configures Build.
+type Options struct {
+	// LocalQubits is l: qubits at bit locations < l are stored node-locally
+	// (2^l amplitudes per rank); the remaining n−l are global (encoded in
+	// the rank number). LocalQubits ≥ n means a single rank and no
+	// communication.
+	LocalQubits int
+	// KMax is the largest fused-gate size the clustering may build
+	// (Table 1 evaluates 3, 4 and 5).
+	KMax int
+	// SpecializeDiagonal2Q enables executing diagonal two-qubit gates (CZ)
+	// on global qubits without communication (Sec. 3.5). The paper's stage
+	// finder always uses this.
+	SpecializeDiagonal2Q bool
+	// SpecializeDiagonal1Q additionally specializes diagonal single-qubit
+	// gates (T, Z, S, Rz). The paper's stage finder assumes the worst case
+	// — random single-qubit gates treated as dense — so this defaults off
+	// for scheduling (Sec. 3.6.1 step 1); enabling it models the
+	// "median hard instances" of Fig. 5.
+	SpecializeDiagonal1Q bool
+	// SwapPolicy picks the residency-selection strategy.
+	SwapPolicy SwapPolicy
+	// AdjustBoundaries enables step 3 of Sec. 3.6.1: trailing clusters of a
+	// stage whose qubits stay resident are deferred across the swap to grow
+	// the next stage's clusters.
+	AdjustBoundaries bool
+	// Mapping picks the initial bit-location assignment.
+	Mapping MappingPolicy
+	// Clustering enables gate fusion. When false every local gate becomes
+	// its own cluster (the ablation baseline).
+	Clustering bool
+	// NoSeedSearch disables the "small local search" of Sec. 3.6.1 step 2
+	// that tries every ready gate as the cluster seed and keeps the
+	// largest cluster; instead the earliest ready gate always seeds.
+	// An ablation knob — the search reduces the total cluster count.
+	NoSeedSearch bool
+}
+
+// DefaultOptions returns the configuration the paper's results use:
+// greedy swap search, CZ specialization, worst-case dense single-qubit
+// gates, clustering with kmax = 4, boundary adjustment and heuristic
+// mapping.
+func DefaultOptions(localQubits int) Options {
+	return Options{
+		LocalQubits:          localQubits,
+		KMax:                 4,
+		SpecializeDiagonal2Q: true,
+		SpecializeDiagonal1Q: false,
+		SwapPolicy:           SwapGreedy,
+		AdjustBoundaries:     true,
+		Mapping:              MapHeuristic,
+		Clustering:           true,
+	}
+}
+
+func (o Options) validate(n int) error {
+	if o.LocalQubits < 1 {
+		return fmt.Errorf("schedule: LocalQubits must be ≥ 1, got %d", o.LocalQubits)
+	}
+	if o.KMax < 1 {
+		return fmt.Errorf("schedule: KMax must be ≥ 1, got %d", o.KMax)
+	}
+	l := o.LocalQubits
+	if l > n {
+		l = n
+	}
+	if o.KMax > l {
+		return fmt.Errorf("schedule: KMax %d exceeds local qubits %d", o.KMax, l)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qusim/internal/gate"
+)
+
+func TestExpectationZBasisStates(t *testing.T) {
+	v := New(3) // |000⟩
+	for q := 0; q < 3; q++ {
+		if got := v.ExpectationZ(q); math.Abs(got-1) > 1e-14 {
+			t.Errorf("⟨Z_%d⟩ of |000⟩ = %v, want 1", q, got)
+		}
+	}
+	v.Apply(gate.X(), 1)
+	if got := v.ExpectationZ(1); math.Abs(got+1) > 1e-14 {
+		t.Errorf("⟨Z_1⟩ of |010⟩ = %v, want −1", got)
+	}
+}
+
+func TestExpectationZSuperposition(t *testing.T) {
+	v := New(1)
+	v.Apply(gate.H(), 0)
+	if got := v.ExpectationZ(0); math.Abs(got) > 1e-14 {
+		t.Errorf("⟨Z⟩ of |+⟩ = %v, want 0", got)
+	}
+}
+
+func TestExpectationPauliStringMatchesDense(t *testing.T) {
+	// Reference: build the Pauli string as a dense matrix via Kron and
+	// compute ⟨ψ|P|ψ⟩ directly.
+	rng := rand.New(rand.NewSource(110))
+	paulis := map[Pauli]gate.Matrix{PauliI: gate.Identity(1), PauliX: gate.X(), PauliY: gate.Y(), PauliZ: gate.Z()}
+	letters := []Pauli{PauliI, PauliX, PauliY, PauliZ}
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		v := randomVector(n, rng)
+		ops := make([]byte, n)
+		full := gate.Identity(0)
+		for q := 0; q < n; q++ {
+			p := letters[rng.Intn(4)]
+			ops[q] = byte(p)
+			full = gate.Kron(paulis[p], full) // qubit q at bit q
+		}
+		got, err := v.ExpectationPauliString(string(ops))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dense ⟨ψ|P|ψ⟩.
+		d := 1 << n
+		var want complex128
+		for r := 0; r < d; r++ {
+			var row complex128
+			for c := 0; c < d; c++ {
+				row += full.Data[r*d+c] * v.Amps[c]
+			}
+			a := v.Amps[r]
+			want += complex(real(a), -imag(a)) * row
+		}
+		if math.Abs(got-real(want)) > 1e-9 || math.Abs(imag(want)) > 1e-9 {
+			t.Fatalf("trial %d ops=%s: got %v, want %v", trial, ops, got, want)
+		}
+	}
+}
+
+func TestExpectationGHZParity(t *testing.T) {
+	// GHZ state: ⟨X⊗X⊗X⟩ = 1, ⟨Z⊗Z⊗I⟩ = 1, ⟨Z⊗I⊗I⟩ = 0.
+	v := New(3)
+	v.Apply(gate.H(), 0)
+	v.Apply(gate.CNOT(), 1, 0)
+	v.Apply(gate.CNOT(), 2, 1)
+	cases := map[string]float64{
+		"XXX": 1,
+		"ZZI": 1,
+		"IZZ": 1,
+		"ZII": 0,
+		"YYX": -1,
+	}
+	for ops, want := range cases {
+		got, err := v.ExpectationPauliString(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("⟨%s⟩ = %v, want %v", ops, got, want)
+		}
+	}
+}
+
+func TestExpectationErrors(t *testing.T) {
+	v := New(2)
+	if _, err := v.ExpectationPauliString("X"); err == nil {
+		t.Error("short string accepted")
+	}
+	if _, err := v.ExpectationPauliString(strings.Repeat("Q", 2)); err == nil {
+		t.Error("invalid letter accepted")
+	}
+}

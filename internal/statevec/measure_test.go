@@ -1,0 +1,92 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qusim/internal/gate"
+)
+
+func TestCollapseBasisState(t *testing.T) {
+	v := New(3)
+	v.Apply(gate.H(), 1)
+	v.Collapse(1, 1)
+	if math.Abs(v.Probability(0b010)-1) > 1e-12 {
+		t.Errorf("collapse to |010⟩ failed: %v", v.Amps)
+	}
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("norm after collapse %v", v.Norm())
+	}
+}
+
+func TestCollapseZeroProbabilityPanics(t *testing.T) {
+	v := New(2) // |00⟩: qubit 0 can never measure 1
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	v.Collapse(0, 1)
+}
+
+func TestMeasureStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	ones := 0
+	shots := 5000
+	for s := 0; s < shots; s++ {
+		v := New(1)
+		v.Apply(gate.Ry(2*math.Acos(math.Sqrt(0.3))), 0) // P(1) = 0.7
+		ones += v.Measure(0, rng)
+	}
+	frac := float64(ones) / float64(shots)
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Errorf("measured P(1) = %v, want ≈ 0.7", frac)
+	}
+}
+
+func TestMeasureGHZCorrelations(t *testing.T) {
+	// Measuring one GHZ qubit collapses all of them to the same value.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		v := New(4)
+		v.Apply(gate.H(), 0)
+		for q := 1; q < 4; q++ {
+			v.Apply(gate.CNOT(), q, q-1) // target q, control q-1
+		}
+		first := v.Measure(0, rng)
+		for q := 1; q < 4; q++ {
+			if got := v.Measure(q, rng); got != first {
+				t.Fatalf("trial %d: GHZ qubit %d measured %d, first was %d", trial, q, got, first)
+			}
+		}
+	}
+}
+
+func TestMeasureAllMatchesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	v := New(2)
+	v.Apply(gate.H(), 0)
+	v.Apply(gate.H(), 1)
+	counts := map[int]int{}
+	shots := 4000
+	for s := 0; s < shots; s++ {
+		w := v.Clone()
+		counts[w.MeasureAll(rng)]++
+	}
+	for b := 0; b < 4; b++ {
+		frac := float64(counts[b]) / float64(shots)
+		if math.Abs(frac-0.25) > 0.035 {
+			t.Errorf("P(%02b) = %v, want ≈ 0.25", b, frac)
+		}
+	}
+}
+
+func TestMeasureAllCollapsesToBasisState(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	v := NewUniform(5)
+	b := v.MeasureAll(rng)
+	if math.Abs(v.Probability(b)-1) > 1e-9 {
+		t.Errorf("state not collapsed onto measured outcome %b", b)
+	}
+}

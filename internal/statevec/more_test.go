@@ -1,0 +1,153 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qusim/internal/gate"
+	"qusim/internal/kernels"
+)
+
+func TestNaiveVariantLongCircuit(t *testing.T) {
+	// The naive variant ping-pongs two buffers; after many applications it
+	// must still agree with the in-place variants.
+	rng := rand.New(rand.NewSource(130))
+	n := 8
+	a := randomVector(n, rng)
+	b := a.Clone()
+	a.Variant = kernels.Naive
+	b.Variant = kernels.Specialized
+	for i := 0; i < 40; i++ {
+		k := 1 + rng.Intn(3)
+		u := gate.RandomUnitary(k, rng)
+		qs := rng.Perm(n)[:k]
+		a.Apply(u, qs...)
+		b.Apply(u, qs...)
+	}
+	if d := a.MaxDiff(b); d > 1e-8 {
+		t.Errorf("naive vs specialized over 40 gates: max diff %g", d)
+	}
+}
+
+func TestAllVariantsAgreeOnCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	n := 8
+	base := randomVector(n, rng)
+	type step struct {
+		u  gate.Matrix
+		qs []int
+	}
+	var steps []step
+	for i := 0; i < 25; i++ {
+		k := 1 + rng.Intn(3)
+		steps = append(steps, step{gate.RandomUnitary(k, rng), rng.Perm(n)[:k]})
+	}
+	var results []*Vector
+	for _, variant := range []kernels.Variant{kernels.Naive, kernels.InPlace, kernels.Split, kernels.Specialized, kernels.Generated} {
+		v := base.Clone()
+		v.Variant = variant
+		for _, s := range steps {
+			v.Apply(s.u, s.qs...)
+		}
+		results = append(results, v)
+	}
+	for i := 1; i < len(results); i++ {
+		if d := results[0].MaxDiff(results[i]); d > 1e-8 {
+			t.Errorf("variant %d deviates from variant 0: %g", i, d)
+		}
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	v := randomVector(9, rng)
+	var sum float64
+	for _, p := range v.Probabilities() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(4)
+	w := v.Clone()
+	w.Apply(gate.X(), 0)
+	if v.Probability(1) != 0 {
+		t.Error("modifying the clone affected the original")
+	}
+}
+
+func TestFromAmplitudesAliases(t *testing.T) {
+	amps := make([]complex128, 8)
+	amps[0] = 1
+	v := FromAmplitudes(amps)
+	v.Apply(gate.X(), 0)
+	if amps[1] != 1 {
+		t.Error("FromAmplitudes should alias the caller's slice")
+	}
+}
+
+func TestApplyZeroQubitGate(t *testing.T) {
+	// A 0-qubit "gate" is a global scalar; Apply must handle it via the
+	// diagonal path.
+	rng := rand.New(rand.NewSource(133))
+	v := randomVector(5, rng)
+	w := v.Clone()
+	phase := gate.Identity(0).Scale(complex(0, 1))
+	v.Apply(phase)
+	w.Scale(complex(0, 1))
+	if d := v.MaxDiff(w); d > 1e-14 {
+		t.Errorf("0-qubit gate application: %g", d)
+	}
+}
+
+func TestApplyPanicsOnArityMismatch(t *testing.T) {
+	v := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	v.Apply(gate.H(), 0, 1)
+}
+
+func TestDeepCircuitNormStability(t *testing.T) {
+	// 500 random gates: the norm must stay at 1 to ~1e-12 (numerical
+	// stability of the kernels).
+	rng := rand.New(rand.NewSource(134))
+	v := New(8)
+	for i := 0; i < 500; i++ {
+		k := 1 + rng.Intn(2)
+		v.Apply(gate.RandomUnitary(k, rng), rng.Perm(8)[:k]...)
+	}
+	if d := math.Abs(v.Norm() - 1); d > 1e-11 {
+		t.Errorf("norm drift after 500 gates: %g", d)
+	}
+}
+
+func TestApplyControlledViaVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	v := randomVector(6, rng)
+	w := v.Clone()
+	u := gate.RandomUnitary(1, rng)
+	v.ApplyControlled(u, []int{2}, []int{4})
+	// Reference: dense controlled matrix.
+	w.ApplyDense(gate.Controlled(u), 2, 4)
+	if d := v.MaxDiff(w); d > 1e-10 {
+		t.Errorf("ApplyControlled vs dense: %g", d)
+	}
+}
+
+func TestApplyControlledPhaseViaVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(136))
+	v := randomVector(5, rng)
+	w := v.Clone()
+	v.ApplyControlledPhase([]int{0, 3}, -1)
+	w.Apply(gate.CZ(), 0, 3)
+	if d := v.MaxDiff(w); d > 1e-13 {
+		t.Errorf("ApplyControlledPhase vs CZ: %g", d)
+	}
+}

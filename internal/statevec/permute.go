@@ -1,0 +1,77 @@
+package statevec
+
+import (
+	"fmt"
+
+	"qusim/internal/par"
+)
+
+// Qubit-relabeling kernels. The distributed scheme of Sec. 3.4 swaps
+// arbitrary local qubits with the highest-order local qubits before the
+// group all-to-all ("we first use our optimized kernels to achieve local
+// swaps between highest-index qubits and those to be swapped"); these are
+// those local swap kernels.
+
+// SwapBits exchanges the amplitudes so that bit positions a and b of the
+// basis index are swapped — the unitary SWAP gate applied as a pure
+// permutation (no arithmetic).
+func (v *Vector) SwapBits(a, b int) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if b >= v.N {
+		panic(fmt.Sprintf("statevec: SwapBits position %d out of range for n=%d", b, v.N))
+	}
+	maskA := 1<<a - 1
+	maskB := 1<<b - 1
+	sa, sb := 1<<a, 1<<b
+	amps := v.Amps
+	par.For(len(amps)>>2, 1024, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			base := ((t &^ maskA) << 1) | (t & maskA)
+			base = ((base &^ maskB) << 1) | (base & maskB)
+			i01 := base | sa
+			i10 := base | sb
+			amps[i01], amps[i10] = amps[i10], amps[i01]
+		}
+	})
+}
+
+// PermuteBits relabels bit position p to perm[p] for every amplitude:
+// new index bit perm[p] = old index bit p. perm must be a permutation of
+// 0…n−1. The permutation is decomposed into transpositions executed with
+// the SwapBits kernel.
+func (v *Vector) PermuteBits(perm []int) {
+	if len(perm) != v.N {
+		panic(fmt.Sprintf("statevec: PermuteBits got %d entries for n=%d", len(perm), v.N))
+	}
+	cur := make([]int, v.N) // cur[p] = where original bit p currently lives
+	loc := make([]int, v.N) // loc[x] = which original bit lives at position x
+	for i := range cur {
+		cur[i] = i
+		loc[i] = i
+	}
+	for p := 0; p < v.N; p++ {
+		want := perm[p]
+		have := cur[p]
+		if have == want {
+			continue
+		}
+		// Swap positions have and want; update bookkeeping.
+		v.SwapBits(have, want)
+		other := loc[want]
+		cur[p], cur[other] = want, have
+		loc[have], loc[want] = other, p
+	}
+}
+
+// ReverseBits reverses the significance of all n bit positions (used by the
+// QFT example, whose output is bit-reversed).
+func (v *Vector) ReverseBits() {
+	for i, j := 0, v.N-1; i < j; i, j = i+1, j-1 {
+		v.SwapBits(i, j)
+	}
+}

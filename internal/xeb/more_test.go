@@ -1,0 +1,91 @@
+package xeb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPorterThomasKSOnExactExponential(t *testing.T) {
+	// Probabilities drawn from the exponential (Porter–Thomas) law must
+	// give a small KS distance; uniform probabilities a large one.
+	rng := rand.New(rand.NewSource(200))
+	n := 1 << 12
+	probs := make([]float64, n)
+	var sum float64
+	for i := range probs {
+		probs[i] = rng.ExpFloat64()
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	if ks := PorterThomasKS(probs); ks > 0.05 {
+		t.Errorf("KS of exact exponential sample %v, want small", ks)
+	}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1 / float64(n)
+	}
+	if ks := PorterThomasKS(uniform); ks < 0.3 {
+		t.Errorf("KS of uniform distribution %v, want large", ks)
+	}
+}
+
+func TestDepolarizedProbsNormalized(t *testing.T) {
+	probs := []float64{0.7, 0.2, 0.1, 0}
+	for _, alpha := range []float64{0, 0.3, 1} {
+		noisy := DepolarizedProbs(probs, alpha)
+		var sum float64
+		for _, p := range noisy {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("alpha=%v: noisy distribution sums to %v", alpha, sum)
+		}
+	}
+	// alpha=1 is the identity; alpha=0 is uniform.
+	id := DepolarizedProbs(probs, 1)
+	for i := range probs {
+		if math.Abs(id[i]-probs[i]) > 1e-15 {
+			t.Errorf("alpha=1 changed the distribution")
+		}
+	}
+	uni := DepolarizedProbs(probs, 0)
+	for _, p := range uni {
+		if math.Abs(p-0.25) > 1e-15 {
+			t.Errorf("alpha=0 is not uniform: %v", uni)
+		}
+	}
+}
+
+func TestFidelityFromCrossEntropyEndpoints(t *testing.T) {
+	n := 20
+	const gamma = 0.57721566490153286
+	// Ideal device: CE = S_PT ⇒ α = 1.
+	spt := float64(n)*math.Ln2 - 1 + gamma
+	if a := FidelityFromCrossEntropy(n, spt); math.Abs(a-1) > 1e-12 {
+		t.Errorf("α(S_PT) = %v, want 1", a)
+	}
+	// Uniform sampler: CE = S_0 ⇒ α = 0.
+	s0 := float64(n)*math.Ln2 + gamma
+	if a := FidelityFromCrossEntropy(n, s0); math.Abs(a) > 1e-12 {
+		t.Errorf("α(S_0) = %v, want 0", a)
+	}
+}
+
+func TestCrossEntropyExactValue(t *testing.T) {
+	probs := []float64{0.5, 0.25, 0.25}
+	samples := []int{0, 1, 2, 0}
+	got, err := CrossEntropy(probs, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -(math.Log(0.5) + math.Log(0.25) + math.Log(0.25) + math.Log(0.5)) / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("cross entropy %v, want %v", got, want)
+	}
+	if _, err := CrossEntropy([]float64{1, 0}, []int{1}); err == nil {
+		t.Error("zero-probability sample accepted")
+	}
+}
