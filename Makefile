@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race verify fuzz bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what CI runs on every change.
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Tier-1 with the race detector — required before merging anything that
+# touches internal/par, internal/mpi or internal/dist.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Differential + metamorphic verification across every backend pair,
+# plus MPI fault-injection scenarios (see DESIGN.md §6).
+verify:
+	$(GO) run ./cmd/qverify -quick
+
+# Longer fuzz burst for the scheduler equivalence oracle.
+fuzz:
+	$(GO) test ./internal/schedule -fuzz FuzzScheduleEquivalence -fuzztime 60s
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -121,7 +121,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			old := par.SetWorkers(workers)
-			defer par.SetWorkers(old)
+			b.Cleanup(func() { par.SetWorkers(old) })
 			amps := make([]complex128, 1<<benchState)
 			amps[0] = 1
 			b.ResetTimer()
@@ -180,7 +180,7 @@ func BenchmarkFig9EdisonKernels(b *testing.B) {
 func BenchmarkFig10SingleWorker(b *testing.B) {
 	u := gate.H()
 	old := par.SetWorkers(1)
-	defer par.SetWorkers(old)
+	b.Cleanup(func() { par.SetWorkers(old) })
 	amps := make([]complex128, 1<<benchState)
 	amps[0] = 1
 	b.SetBytes(int64(len(amps) * 32))

@@ -1,0 +1,57 @@
+// Command qverify runs the differential + metamorphic verification harness
+// across every execution path of the simulator, plus MPI fault-injection
+// scenarios. Exit status 1 means a divergence or property violation was
+// found (reproducers are printed).
+//
+// Examples:
+//
+//	qverify -quick                 # CI tier: trimmed matrix, ~a second
+//	qverify                        # full matrix
+//	qverify -qubits 12 -circuits 200 -seed 7   # soak run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qusim/internal/par"
+	"qusim/internal/verify"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "trimmed matrix and circuit count (CI tier)")
+		qubits   = flag.Int("qubits", 0, "qubits per generated circuit (0 = default for mode)")
+		circuits = flag.Int("circuits", 0, "seeded random circuits in the matrix (0 = default)")
+		gates    = flag.Int("gates", 0, "gates per random circuit (0 = 6·qubits)")
+		seed     = flag.Int64("seed", 1, "master seed (circuits and fault plans derive from it)")
+		tol      = flag.Float64("tol", 1e-10, "max-amplitude-delta tolerance")
+		faults   = flag.Int("fault-circuits", 0, "circuits rerun under MPI fault injection (0 = default)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "per-phase progress")
+	)
+	flag.Parse()
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
+
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+	rep, err := verify.Run(verify.Options{
+		Qubits: *qubits, Circuits: *circuits, Gates: *gates,
+		Seed: *seed, Tol: *tol, Quick: *quick,
+		FaultCircuits: *faults, Log: log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qverify:", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.String())
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}

@@ -23,6 +23,9 @@ type BaselineOptions struct {
 	Specialize2Q bool
 	Specialize1Q bool
 	GatherState  bool
+	// Faults arms deterministic fault injection in the MPI layer (see
+	// dist.Options.Faults); it exercises the pairwise-exchange path here.
+	Faults *mpi.FaultPlan
 }
 
 // RunBaseline executes the circuit gate by gate with the fixed layout
@@ -48,6 +51,9 @@ func RunBaseline(c *circuit.Circuit, opts BaselineOptions) (*Result, error) {
 		res.Amplitudes = make([]complex128, 1<<c.N)
 	}
 	w := mpi.NewWorld(ranks)
+	if opts.Faults != nil {
+		w.InjectFaults(opts.Faults)
+	}
 	var mu sync.Mutex
 
 	specialized := func(gt *circuit.Gate) bool {
@@ -149,6 +155,7 @@ func RunBaseline(c *circuit.Circuit, opts BaselineOptions) (*Result, error) {
 	}
 	res.CommSteps = int(w.Traffic.Steps.Load())
 	res.CommBytes = w.Traffic.Bytes.Load()
+	res.FaultEvents = w.FaultEvents()
 	return res, nil
 }
 

@@ -46,6 +46,10 @@ type Result struct {
 	CommSteps int   // collective communication steps
 	CommBytes int64 // payload bytes crossing rank boundaries
 
+	// FaultEvents counts the perturbations injected when Options.Faults
+	// was set (0 on clean runs).
+	FaultEvents int64
+
 	Elapsed     time.Duration // wall time of the slowest rank
 	CommElapsed time.Duration // wall time spent in communication (max rank)
 
@@ -83,6 +87,11 @@ type Options struct {
 	// Result.Profile — how the paper's "time spent in communication and
 	// synchronization is 78%" breakdowns are measured.
 	Profile bool
+	// Faults arms deterministic fault injection in the simulated MPI layer
+	// (delayed chunk posting, out-of-order delivery, barrier jitter). A
+	// correct run produces identical amplitudes with or without faults;
+	// package verify soaks this invariant.
+	Faults *mpi.FaultPlan
 }
 
 // ProfileEntry aggregates wall time for one op kind (on the slowest rank).
@@ -111,6 +120,9 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 		res.Amplitudes = make([]complex128, 1<<plan.N)
 	}
 	w := mpi.NewWorld(ranks)
+	if opts.Faults != nil {
+		w.InjectFaults(opts.Faults)
+	}
 	var mu sync.Mutex
 
 	err := w.Run(func(c *mpi.Comm) error {
@@ -221,6 +233,7 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 	}
 	res.CommSteps = int(w.Traffic.Steps.Load())
 	res.CommBytes = w.Traffic.Bytes.Load()
+	res.FaultEvents = w.FaultEvents()
 	return res, nil
 }
 

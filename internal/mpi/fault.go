@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FaultPlan describes deterministic, seeded adversity injected into the
+// message-passing primitives: delayed chunk posting, out-of-order delivery
+// of incoming chunks, and jitter ahead of every barrier entry. None of the
+// perturbations change the semantics of a correct program — they only
+// stretch and reshuffle the interleaving of rank goroutines — so any result
+// difference observed under a FaultPlan (or any data race flagged by the
+// race detector) is a synchronization bug in the communication layer or in
+// an engine built on top of it.
+//
+// All randomness is drawn from per-rank generators derived from Seed, so a
+// failing scenario replays exactly.
+type FaultPlan struct {
+	// Seed derives the per-rank fault RNGs. Two runs of the same program
+	// under the same plan inject the identical perturbation sequence.
+	Seed int64
+	// PostDelay is the maximum random delay inserted before a rank posts
+	// its chunks to an all-to-all board or a pairwise exchange channel
+	// (delayed chunk posting).
+	PostDelay time.Duration
+	// ShuffleDelivery randomizes the order in which a rank drains its
+	// incoming chunks during (group-)all-to-alls — out-of-order delivery.
+	ShuffleDelivery bool
+	// BarrierJitter is the maximum random delay inserted before a rank
+	// enters any barrier, desynchronizing collective phases.
+	BarrierJitter time.Duration
+}
+
+// DefaultFaults returns the standard soak configuration: small random
+// delays on posts and barriers plus shuffled delivery. The delays are in
+// the tens-of-microseconds range — large relative to channel and barrier
+// latencies, small enough to keep test wall time reasonable.
+func DefaultFaults(seed int64) *FaultPlan {
+	return &FaultPlan{
+		Seed:            seed,
+		PostDelay:       50 * time.Microsecond,
+		ShuffleDelivery: true,
+		BarrierJitter:   20 * time.Microsecond,
+	}
+}
+
+// InjectFaults arms the world with a fault plan. It must be called before
+// Run; a nil plan disarms injection.
+func (w *World) InjectFaults(fp *FaultPlan) { w.fault = fp }
+
+// FaultEvents returns the number of perturbations injected so far (sleeps
+// performed and delivery orders shuffled), summed over all ranks. Tests use
+// it to assert a scenario actually exercised the fault paths.
+func (w *World) FaultEvents() int64 { return w.faultEvents.Load() }
+
+// newFaultRand derives rank's deterministic fault RNG.
+func (w *World) newFaultRand(rank int) *rand.Rand {
+	if w.fault == nil {
+		return nil
+	}
+	return rand.New(rand.NewSource(w.fault.Seed*1000003 + int64(rank)*7919 + 12345))
+}
+
+// faultDelay sleeps a random duration in [0, max) drawn from the rank's
+// fault RNG. No-op when injection is disarmed or max is zero.
+func (c *Comm) faultDelay(max time.Duration) {
+	if c.frand == nil || max <= 0 {
+		return
+	}
+	c.w.faultEvents.Add(1)
+	time.Sleep(time.Duration(c.frand.Int63n(int64(max))))
+}
+
+// deliveryOrder returns a shuffled pickup order over n incoming chunks, or
+// nil to keep the natural order.
+func (c *Comm) deliveryOrder(n int) []int {
+	if c.frand == nil || !c.w.fault.ShuffleDelivery {
+		return nil
+	}
+	c.w.faultEvents.Add(1)
+	return c.frand.Perm(n)
+}

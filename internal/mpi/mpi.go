@@ -13,6 +13,7 @@ package mpi
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 )
@@ -37,6 +38,9 @@ type World struct {
 	pairAck [][]chan struct{}
 	reduce  []float64
 	Traffic Traffic
+
+	fault       *FaultPlan // armed by InjectFaults; nil = clean runs
+	faultEvents atomic.Int64
 }
 
 // NewWorld creates a world of the given size (ranks are 0…size−1).
@@ -81,7 +85,7 @@ func (w *World) Run(fn func(c *Comm) error) error {
 					panics[rank] = p
 				}
 			}()
-			errs[rank] = fn(&Comm{w: w, rank: rank})
+			errs[rank] = fn(&Comm{w: w, rank: rank, frand: w.newFaultRand(rank)})
 		}(r)
 	}
 	wg.Wait()
@@ -100,8 +104,9 @@ func (w *World) Run(fn func(c *Comm) error) error {
 
 // Comm is one rank's handle on the world.
 type Comm struct {
-	w    *World
-	rank int
+	w     *World
+	rank  int
+	frand *rand.Rand // per-rank fault RNG, nil when injection is disarmed
 }
 
 // Rank returns this rank's id.
@@ -111,7 +116,12 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.w.size }
 
 // Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.w.bar.wait() }
+func (c *Comm) Barrier() {
+	if f := c.w.fault; f != nil {
+		c.faultDelay(f.BarrierJitter)
+	}
+	c.w.bar.wait()
+}
 
 // Alltoall performs a world all-to-all: send[j] goes to rank j, and recv[i]
 // receives rank i's chunk for this rank. All chunks must have equal length;
@@ -122,9 +132,17 @@ func (c *Comm) Alltoall(send, recv [][]complex128) {
 	if len(send) != w.size || len(recv) != w.size {
 		panic("mpi: Alltoall chunk count must equal world size")
 	}
+	if f := w.fault; f != nil {
+		c.faultDelay(f.PostDelay)
+	}
 	w.board[c.rank] = send
 	c.Barrier()
-	for src := 0; src < w.size; src++ {
+	order := c.deliveryOrder(w.size)
+	for i := 0; i < w.size; i++ {
+		src := i
+		if order != nil {
+			src = order[i]
+		}
 		chunk := w.board[src][c.rank]
 		if len(chunk) != len(recv[src]) {
 			panic("mpi: Alltoall chunk length mismatch")
@@ -174,9 +192,17 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 			me |= 1 << t
 		}
 	}
+	if f := w.fault; f != nil {
+		c.faultDelay(f.PostDelay)
+	}
 	w.board[c.rank] = send
 	c.Barrier()
-	for j := 0; j < 1<<q; j++ {
+	order := c.deliveryOrder(1 << q)
+	for i := 0; i < 1<<q; i++ {
+		j := i
+		if order != nil {
+			j = order[i]
+		}
 		src := memberRank(j)
 		chunk := w.board[src][me]
 		if len(chunk) != len(recv[j]) {
@@ -230,6 +256,9 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 		return
 	}
 	w := c.w
+	if f := w.fault; f != nil {
+		c.faultDelay(f.PostDelay)
+	}
 	w.pair[c.rank][partner] <- send
 	theirs := <-w.pair[partner][c.rank]
 	if len(theirs) != len(recv) {

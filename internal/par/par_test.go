@@ -7,7 +7,7 @@ import (
 
 func TestForCoversRangeExactlyOnce(t *testing.T) {
 	old := SetWorkers(4)
-	defer SetWorkers(old)
+	t.Cleanup(func() { SetWorkers(old) })
 	for _, n := range []int{0, 1, 7, 100, 1024} {
 		seen := make([]int32, n)
 		For(n, 1, func(lo, hi int) {
@@ -25,7 +25,7 @@ func TestForCoversRangeExactlyOnce(t *testing.T) {
 
 func TestForRespectsGrainInline(t *testing.T) {
 	old := SetWorkers(8)
-	defer SetWorkers(old)
+	t.Cleanup(func() { SetWorkers(old) })
 	calls := 0
 	// n < grain ⇒ must run inline in a single call.
 	For(10, 100, func(lo, hi int) {
@@ -41,7 +41,7 @@ func TestForRespectsGrainInline(t *testing.T) {
 
 func TestReduceFloat64Sums(t *testing.T) {
 	old := SetWorkers(3)
-	defer SetWorkers(old)
+	t.Cleanup(func() { SetWorkers(old) })
 	n := 1000
 	got := ReduceFloat64(n, 1, func(lo, hi int) float64 {
 		var s float64
@@ -64,6 +64,7 @@ func TestReduceEmpty(t *testing.T) {
 
 func TestSetWorkersResets(t *testing.T) {
 	old := SetWorkers(5)
+	t.Cleanup(func() { SetWorkers(old) })
 	if Workers() != 5 {
 		t.Errorf("Workers() = %d, want 5", Workers())
 	}
@@ -71,5 +72,4 @@ func TestSetWorkersResets(t *testing.T) {
 	if Workers() < 1 {
 		t.Errorf("Workers() = %d after reset", Workers())
 	}
-	SetWorkers(old)
 }

@@ -90,3 +90,124 @@ func TestMeasureAllCollapsesToBasisState(t *testing.T) {
 		t.Errorf("state not collapsed onto measured outcome %b", b)
 	}
 }
+
+// measureStates is the shared table of prepared states for the
+// measurement-invariant tests below.
+var measureStates = []struct {
+	name    string
+	qubits  int
+	target  int // qubit to measure
+	prepare func(v *Vector)
+}{
+	{"zero", 2, 0, func(v *Vector) {}},
+	{"one", 2, 1, func(v *Vector) { v.Apply(gate.X(), 1) }},
+	{"plus", 1, 0, func(v *Vector) { v.Apply(gate.H(), 0) }},
+	{"ghz4", 4, 2, func(v *Vector) {
+		v.Apply(gate.H(), 0)
+		for q := 1; q < 4; q++ {
+			v.Apply(gate.CNOT(), q, q-1)
+		}
+	}},
+	{"uniform5", 5, 3, func(v *Vector) {
+		for q := 0; q < 5; q++ {
+			v.Apply(gate.H(), q)
+		}
+	}},
+	{"ry-biased", 3, 1, func(v *Vector) {
+		v.Apply(gate.Ry(2*math.Acos(math.Sqrt(0.2))), 1) // P(1) = 0.8
+		v.Apply(gate.H(), 0)
+	}},
+}
+
+func prepared(tc struct {
+	name    string
+	qubits  int
+	target  int
+	prepare func(v *Vector)
+}) *Vector {
+	v := New(tc.qubits)
+	tc.prepare(v)
+	return v
+}
+
+func TestMeasurePreservesNorm(t *testing.T) {
+	for _, tc := range measureStates {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(60))
+			v := prepared(tc)
+			v.Measure(tc.target, rng)
+			if d := math.Abs(v.Norm() - 1); d > 1e-12 {
+				t.Errorf("post-measurement norm off by %g", d)
+			}
+		})
+	}
+}
+
+func TestMeasureCollapsesOppositeOutcome(t *testing.T) {
+	for _, tc := range measureStates {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(61))
+			v := prepared(tc)
+			outcome := v.Measure(tc.target, rng)
+			bit := 1 << tc.target
+			keep := 0
+			if outcome == 1 {
+				keep = bit
+			}
+			for i, a := range v.Amps {
+				if i&bit != keep && a != 0 {
+					t.Fatalf("amplitude %d survived collapse onto outcome %d: %v", i, outcome, a)
+				}
+			}
+		})
+	}
+}
+
+func TestMeasureRepeatedIsIdempotent(t *testing.T) {
+	for _, tc := range measureStates {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(62))
+			v := prepared(tc)
+			first := v.Measure(tc.target, rng)
+			snapshot := append([]complex128(nil), v.Amps...)
+			// A projective measurement is a projection: measuring the same
+			// qubit again must reproduce the outcome and leave the state
+			// untouched, whatever the RNG draws next.
+			for rep := 0; rep < 3; rep++ {
+				if again := v.Measure(tc.target, rng); again != first {
+					t.Fatalf("repeat %d flipped outcome %d -> %d", rep, first, again)
+				}
+				for i := range snapshot {
+					if v.Amps[i] != snapshot[i] {
+						t.Fatalf("repeat %d changed amplitude %d: %v -> %v", rep, i, snapshot[i], v.Amps[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMeasureDeterministicRNG(t *testing.T) {
+	// Same seed, same state → identical outcome and identical collapsed
+	// amplitudes; replays of seeded experiments must be exact.
+	for _, tc := range measureStates {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (int, []complex128) {
+				rng := rand.New(rand.NewSource(63))
+				v := prepared(tc)
+				o := v.Measure(tc.target, rng)
+				return o, v.Amps
+			}
+			o1, a1 := run()
+			o2, a2 := run()
+			if o1 != o2 {
+				t.Fatalf("same seed measured %d then %d", o1, o2)
+			}
+			for i := range a1 {
+				if a1[i] != a2[i] {
+					t.Fatalf("same seed produced different amplitude %d", i)
+				}
+			}
+		})
+	}
+}

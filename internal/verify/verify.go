@@ -1,0 +1,234 @@
+// Package verify is the differential + metamorphic verification subsystem:
+// the machinery that proves the repo's independently-optimized execution
+// paths — naive statevec, specialized/generated kernels, scheduled fused
+// plans, the distributed global-to-local swap engine at several (g, l)
+// splits, and the De Raedt-style per-gate baseline — are exact
+// implementations of the same (1⊗…⊗U⊗…⊗1)|Ψ⟩ semantics.
+//
+// Three layers:
+//
+//   - The differential engine (diff.go) runs seeded random circuits and
+//     library/supremacy instances through every backend pair and reports
+//     max-amplitude and fidelity deltas, minimizing a replayable text
+//     reproducer on divergence.
+//   - The metamorphic layer (metamorphic.go) checks invariants that need
+//     no reference: norm preservation, gate identities (HH=I, T⁴=S², CZ
+//     symmetry, …), commuting-gate reorder invariance and
+//     qubit-permutation conjugation.
+//   - Fault scenarios rerun the distributed backends under the seeded
+//     adversity of mpi.FaultPlan (delayed posts, out-of-order delivery,
+//     barrier jitter) and demand bit-identical agreement — validating the
+//     communication layer off the happy path.
+//
+// cmd/qverify exposes the whole harness for CI and soak runs.
+package verify
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"qusim/internal/kernels"
+	"qusim/internal/mpi"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Qubits sizes every generated circuit (default 8 quick / 10 full).
+	Qubits int
+	// Circuits is the number of seeded random circuits in the matrix
+	// (default 20 quick / 40 full); library circuits are added on top.
+	Circuits int
+	// Gates per random circuit (default 6·Qubits).
+	Gates int
+	// Seed derives every circuit and fault seed; runs replay exactly.
+	Seed int64
+	// Tol is the divergence tolerance on max-amplitude delta.
+	Tol float64
+	// Quick trims the backend matrix and circuit count for CI.
+	Quick bool
+	// FaultCircuits is the number of circuits rerun under fault injection
+	// (default 3 quick / 6 full).
+	FaultCircuits int
+	// Log, when non-nil, receives per-phase progress lines.
+	Log io.Writer
+}
+
+func (o *Options) setDefaults() {
+	if o.Qubits == 0 {
+		if o.Quick {
+			o.Qubits = 8
+		} else {
+			o.Qubits = 10
+		}
+	}
+	if o.Circuits == 0 {
+		if o.Quick {
+			o.Circuits = 20
+		} else {
+			o.Circuits = 40
+		}
+	}
+	if o.Gates == 0 {
+		o.Gates = 6 * o.Qubits
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.FaultCircuits == 0 {
+		if o.Quick {
+			o.FaultCircuits = 3
+		} else {
+			o.FaultCircuits = 6
+		}
+	}
+}
+
+// Report aggregates a full harness run.
+type Report struct {
+	Differential *Engine // the clean differential matrix
+	Faults       *Engine // fault-injection scenarios (distributed backends)
+
+	MetamorphicRun    int
+	MetamorphicFailed []string // "name: error" per failed property
+
+	FaultScenarios int   // fault-injected backend pairs exercised
+	FaultEvents    int64 // perturbations injected across all scenarios
+}
+
+// Failed reports whether any layer found a violation.
+func (r *Report) Failed() bool {
+	return r.Differential.Failed() || r.Faults.Failed() || len(r.MetamorphicFailed) > 0
+}
+
+// Matrix returns the default backend matrix compared against the naive
+// dense reference. Quick trims redundant kernel tiers. To add a new
+// backend to the differential matrix, append it here (see DESIGN.md §6).
+func Matrix(quick bool) (ref Backend, backends []Backend) {
+	ref = Naive()
+	backends = []Backend{
+		Kernel(kernels.Specialized),
+		Kernel(kernels.Split),
+		Scheduled(2),
+		Distributed(4),
+		Baseline(4),
+	}
+	if !quick {
+		backends = append(backends,
+			Kernel(kernels.InPlace),
+			Kernel(kernels.Generated),
+			Scheduled(3),
+			Distributed(2),
+			Distributed(8),
+			Baseline(8),
+		)
+	}
+	return ref, backends
+}
+
+// Run executes the full harness: differential matrix, metamorphic suite,
+// and fault-injection scenarios. Violations land in the Report; the error
+// covers only harness-level failures.
+func Run(opts Options) (*Report, error) {
+	opts.setDefaults()
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	ref, backends := Matrix(opts.Quick)
+	engine := NewEngine(ref, backends, opts.Tol)
+	rep := &Report{Differential: engine}
+
+	// Phase 1: differential matrix over seeded random + library circuits.
+	logf("phase 1: differential matrix (%d random + library circuits, %d backends)",
+		opts.Circuits, len(backends))
+	for i := 0; i < opts.Circuits; i++ {
+		c := Random(RandomOptions{
+			Qubits: opts.Qubits, Gates: opts.Gates, Seed: opts.Seed + int64(i),
+			// Half the circuits include dense entanglers (CNOT/SWAP); the
+			// baseline backend skips those it cannot place locally.
+			DenseEntanglers: i%2 == 1,
+		})
+		if err := engine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range Library(opts.Qubits, opts.Seed) {
+		if err := engine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	logf("%s", strings.TrimRight(engine.Summary(), "\n"))
+
+	// Phase 2: metamorphic properties.
+	props := Properties(opts.Qubits, opts.Seed)
+	logf("phase 2: %d metamorphic properties", len(props))
+	for _, p := range props {
+		rep.MetamorphicRun++
+		if err := p.Check(); err != nil {
+			rep.MetamorphicFailed = append(rep.MetamorphicFailed,
+				fmt.Sprintf("%s: %v", p.Name, err))
+			logf("  %-26s FAILED: %v", p.Name, err)
+		} else {
+			logf("  %-26s ok", p.Name)
+		}
+	}
+
+	// Phase 3: fault injection. The distributed backends rerun under
+	// seeded MPI adversity and must still match the naive reference.
+	faulty := []Backend{
+		DistributedFaulty(4, mpi.DefaultFaults(opts.Seed+1)),
+		BaselineFaulty(4, mpi.DefaultFaults(opts.Seed+2)),
+	}
+	if !opts.Quick {
+		faulty = append(faulty, DistributedFaulty(8, mpi.DefaultFaults(opts.Seed+3)))
+	}
+	logf("phase 3: fault injection (%d scenarios × %d circuits)", len(faulty), opts.FaultCircuits)
+	faultEngine := NewEngine(ref, faulty, opts.Tol)
+	rep.Faults = faultEngine
+	for i := 0; i < opts.FaultCircuits; i++ {
+		c := Random(RandomOptions{
+			Qubits: opts.Qubits, Gates: opts.Gates, Seed: opts.Seed + 1000 + int64(i),
+		})
+		if err := faultEngine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	rep.FaultScenarios = len(faulty)
+	for _, b := range faulty {
+		if fc, ok := b.(faultCounter); ok {
+			rep.FaultEvents += fc.FaultEvents()
+		}
+	}
+	logf("%s", strings.TrimRight(faultEngine.Summary(), "\n"))
+	logf("injected %d fault events", rep.FaultEvents)
+
+	return rep, nil
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Differential.Summary())
+	fmt.Fprintf(&b, "metamorphic: %d/%d properties passed\n",
+		r.MetamorphicRun-len(r.MetamorphicFailed), r.MetamorphicRun)
+	for _, f := range r.MetamorphicFailed {
+		fmt.Fprintf(&b, "  FAILED %s\n", f)
+	}
+	fmt.Fprintf(&b, "fault injection: %d scenarios, %d perturbations\n",
+		r.FaultScenarios, r.FaultEvents)
+	b.WriteString(r.Faults.Summary())
+	divs := append(append([]Divergence(nil), r.Differential.Divergences...), r.Faults.Divergences...)
+	if len(divs) == 0 {
+		b.WriteString("RESULT: all execution paths agree\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "RESULT: %d divergence(s)\n", len(divs))
+	for _, d := range divs {
+		fmt.Fprintf(&b, "--- %s vs reference on %s: maxΔamp=%.3e |1-F|=%.3e, minimized to %d gates:\n%s\n",
+			d.Backend, d.Circuit, d.MaxDelta, d.FidDelta, d.ReproducerGates, d.Reproducer)
+	}
+	return b.String()
+}
