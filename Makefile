@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify fuzz bench
+.PHONY: build test race verify fuzz bench bench-permute
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Permutation-pipeline perf baseline: runs the single-pass permutation and
+# swap-fusion benchmarks and records the results (with derived speedups
+# over the SwapBits-chain / unfused baselines) in BENCH_permute.json.
+# Three repetitions; benchjson keeps the fastest of each to suppress
+# scheduler noise on shared machines.
+bench-permute:
+	$(GO) test -run '^$$' -bench 'BenchmarkPermute|BenchmarkSwapFusion' -benchtime 5x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_permute.json

@@ -289,6 +289,111 @@ func BenchmarkAblationDiagonalFastPath(b *testing.B) {
 	})
 }
 
+// BenchmarkPermute compares local qubit permutation as a SwapBits
+// transposition chain (the pre-optimization implementation, one half-state
+// sweep per transposition) against the single-pass compiled gather kernel
+// (one read of the state plus one write, whatever the permutation). The
+// "state-passes" metric reports the memory-traffic model: the chain costs
+// one full-state pass per transposition, the gather always two.
+func BenchmarkPermute(b *testing.B) {
+	for _, n := range []int{benchState, 24} {
+		perm := randRNG(int64(n)).Perm(n)
+		passes := float64(swapChainSteps(perm))
+		b.Run(fmt.Sprintf("n%d/swapchain", n), func(b *testing.B) {
+			v := statevec.NewUniform(n)
+			b.SetBytes(int64(16 << n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.PermuteBitsSwapChain(perm)
+			}
+			b.ReportMetric(passes, "state-passes")
+		})
+		b.Run(fmt.Sprintf("n%d/singlepass", n), func(b *testing.B) {
+			v := statevec.NewUniform(n)
+			v.PermuteBits(perm) // pre-allocate the scratch buffer
+			b.SetBytes(int64(16 << n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.PermuteBits(perm)
+			}
+			b.ReportMetric(2, "state-passes")
+		})
+	}
+}
+
+// swapChainSteps counts the SwapBits sweeps PermuteBitsSwapChain issues for
+// perm — each one touches half the amplitudes twice, i.e. one full-state
+// pass of memory traffic.
+func swapChainSteps(perm []int) int {
+	n := len(perm)
+	cur := make([]int, n)
+	loc := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+		loc[i] = i
+	}
+	steps := 0
+	for p := 0; p < n; p++ {
+		want, have := perm[p], cur[p]
+		if have == want {
+			continue
+		}
+		steps++
+		other := loc[want]
+		cur[p], cur[other] = want, have
+		loc[have], loc[want] = other, p
+	}
+	return steps
+}
+
+// BenchmarkSwapFusion compares a global-to-local swap with its preceding
+// local permutation executed as a separate full-state pass against the
+// fused op the scheduler now emits, where the permutation rides inside the
+// all-to-all unpack as an indexed gather.
+func BenchmarkSwapFusion(b *testing.B) {
+	c := benchSupremacy(benchState, 25)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(benchState-3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fusedOp *schedule.Op
+	for i := range plan.Ops {
+		if op := &plan.Ops[i]; op.Kind == schedule.OpSwap && op.Perm != nil {
+			fusedOp = op
+			break
+		}
+	}
+	if fusedOp == nil {
+		b.Skip("no fused swap in plan")
+	}
+	mini := func(ops []schedule.Op) *schedule.Plan {
+		return &schedule.Plan{
+			N: plan.N, L: plan.L, Ops: ops,
+			InitialPos: plan.InitialPos, FinalPos: plan.InitialPos,
+		}
+	}
+	split := *fusedOp
+	split.Perm = nil
+	separate := mini([]schedule.Op{
+		{Kind: schedule.OpLocalPerm, Perm: fusedOp.Perm, Stage: fusedOp.Stage},
+		split,
+	})
+	fused := mini([]schedule.Op{*fusedOp})
+	for _, bc := range []struct {
+		name string
+		plan *schedule.Plan
+	}{{"separate", separate}, {"fused", fused}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(16 << benchState))
+			for i := 0; i < b.N; i++ {
+				if _, err := dist.Run(bc.plan, dist.Options{Ranks: 8, Init: dist.InitUniform}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func randRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // BenchmarkEmulationVsGates reproduces the related-work comparison ([7]):

@@ -14,7 +14,6 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -156,8 +155,10 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 			case schedule.OpDiagonal:
 				applyDiagonal(local, op, l, c.Rank())
 			case schedule.OpLocalPerm:
-				sv := statevec.FromAmplitudes(local)
-				sv.PermuteBits(op.Perm)
+				// Single gather pass into the rank's scratch vector — no
+				// allocation, no SwapBits transposition chain.
+				kernels.PermuteInto(scratch, local, kernels.CompileBitPermutation(op.Perm))
+				local, scratch = scratch, local
 			case schedule.OpSwap:
 				local, scratch = swapGlobalLocal(c, op, local, scratch, l)
 				commTime += time.Since(t0)
@@ -171,7 +172,8 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 		}
 
 		// Final reductions (norm + entropy), as in the Edison entropy run.
-		t0 := time.Now()
+		// The sweep over the local amplitudes is pure local compute; only
+		// the collectives below count toward CommElapsed.
 		var localNorm, ent float64
 		for _, a := range local {
 			p := real(a)*real(a) + imag(a)*imag(a)
@@ -180,13 +182,14 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 				ent -= p * math.Log(p)
 			}
 		}
+		t0 := time.Now()
 		norm := c.AllreduceSum(localNorm)
 		ent = c.AllreduceSum(ent)
+		commTime += time.Since(t0)
 		var samples []int
 		if opts.SampleShots > 0 {
-			samples = sampleLocal(c, plan, local, localNorm, l, opts)
+			samples = sampleLocal(c, plan, local, localNorm, l, opts, &commTime)
 		}
-		commTime += time.Since(t0)
 		elapsed := time.Since(start)
 
 		mu.Lock()
@@ -218,10 +221,13 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 					res.Profile[k].Kind = k.String()
 				}
 			}
+			// Ops and Duration must come from the same rank: report both
+			// from the max-duration rank (≥ so zero-duration kinds still
+			// pick up a consistent op count).
 			for k := range profDur {
-				res.Profile[k].Ops = profOps[k]
-				if profDur[k] > res.Profile[k].Duration {
+				if profDur[k] >= res.Profile[k].Duration {
 					res.Profile[k].Duration = profDur[k]
+					res.Profile[k].Ops = profOps[k]
 				}
 			}
 		}
@@ -242,9 +248,16 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 // by weight (identically on every rank, no communication); the owning rank
 // then draws the in-rank index from its local distribution. The returned
 // slice has one entry per shot: the logical basis state for shots this
-// rank owns, −1 otherwise.
-func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm float64, l int, opts Options) []int {
+// rank owns, −1 otherwise. Only the Allgather counts toward commTime; the
+// CDF construction and the draws are local work.
+//
+// Both CDF searches go through statevec.SearchCDF, which skips zero-width
+// buckets: a draw landing exactly on a boundary can otherwise select a
+// zero-probability rank or basis state.
+func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm float64, l int, opts Options, commTime *time.Duration) []int {
+	t0 := time.Now()
 	weights := c.AllgatherFloat64(localNorm)
+	*commTime += time.Since(t0)
 	prefix := make([]float64, len(weights)+1)
 	for i, w := range weights {
 		prefix[i+1] = prefix[i] + w
@@ -256,11 +269,7 @@ func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm
 	for s := range out {
 		out[s] = -1
 		u := shotRng.Float64() * total
-		r := sort.SearchFloat64s(prefix[1:], u)
-		if r >= len(weights) {
-			r = len(weights) - 1
-		}
-		if r == c.Rank() {
+		if r := statevec.SearchCDF(prefix, u); r == c.Rank() {
 			mine = append(mine, s)
 		}
 	}
@@ -275,10 +284,7 @@ func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm
 	localRng := rand.New(rand.NewSource(opts.SampleSeed*31 + int64(c.Rank()) + 1))
 	for _, s := range mine {
 		u := localRng.Float64() * cdf[len(cdf)-1]
-		idx := sort.SearchFloat64s(cdf[1:], u)
-		if idx >= len(local) {
-			idx = len(local) - 1
-		}
+		idx := statevec.SearchCDF(cdf, u)
 		out[s] = plan.LogicalIndex(c.Rank()<<l | idx)
 	}
 	return out
@@ -312,6 +318,13 @@ func applyDiagonal(local []complex128, op *schedule.Op, l, rank int) {
 // swapGlobalLocal executes a q-qubit global-to-local swap: local locations
 // [l−q, l) are exchanged with the global locations in op.GlobalPos via one
 // group all-to-all per 2^(g−q) rank group (Sec. 3.4, Fig. 3).
+//
+// When the scheduler fused the preceding local permutation into the swap
+// (op.Perm != nil), the relabeling executes inside the all-to-all itself:
+// each receiver gathers source elements through the inverse permutation
+// while unpacking, so the permutation costs zero extra state passes —
+// member m's chunk of the permuted state P (P[y] = local[π⁻¹(y)]) is pulled
+// directly as local[π⁻¹(m·2^(l−q) + t)].
 func swapGlobalLocal(c *mpi.Comm, op *schedule.Op, local, scratch []complex128, l int) (newLocal, newScratch []complex128) {
 	q := len(op.LocalPos)
 	for j, p := range op.LocalPos {
@@ -324,11 +337,21 @@ func swapGlobalLocal(c *mpi.Comm, op *schedule.Op, local, scratch []complex128, 
 		bitPositions[j] = p - l
 	}
 	chunk := len(local) >> q
-	send := make([][]complex128, 1<<q)
 	recv := make([][]complex128, 1<<q)
+	for j := range recv {
+		recv[j] = scratch[j*chunk : (j+1)*chunk]
+	}
+	if op.Perm != nil {
+		bp := kernels.CompileBitPermutation(op.Perm)
+		shift := uint(l - q)
+		c.GroupAlltoallGather(bitPositions, local, recv, func(member int, src, dst []complex128) {
+			kernels.PermuteGather(dst, src, bp, member<<shift)
+		})
+		return scratch, local
+	}
+	send := make([][]complex128, 1<<q)
 	for j := range send {
 		send[j] = local[j*chunk : (j+1)*chunk]
-		recv[j] = scratch[j*chunk : (j+1)*chunk]
 	}
 	c.GroupAlltoall(bitPositions, send, recv)
 	return scratch, local

@@ -171,6 +171,34 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestProfileOpsConsistentWithPlan(t *testing.T) {
+	// Regression: Profile[k].Ops used to be overwritten by whichever rank
+	// locked last while Duration took the max, so the two fields could come
+	// from different ranks. Every rank executes the identical op sequence,
+	// so the reported Ops must equal the plan's op counts exactly.
+	c := supremacy(12, 16, 96, false)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Ranks: 8, Init: InitUniform, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := range plan.Ops {
+		counts[plan.Ops[i].Kind.String()]++
+	}
+	for _, e := range res.Profile {
+		if e.Ops != counts[e.Kind] {
+			t.Errorf("profile %q reports %d ops, plan contains %d", e.Kind, e.Ops, counts[e.Kind])
+		}
+		if e.Ops == 0 && e.Duration != 0 {
+			t.Errorf("profile %q reports duration %v with zero ops", e.Kind, e.Duration)
+		}
+	}
+}
+
 // --- baseline scheme -------------------------------------------------------
 
 func TestBaselineEqualsNaive(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"qusim/internal/circuit"
 	"qusim/internal/schedule"
 )
 
@@ -70,6 +71,26 @@ func TestDistributedSamplingDeterministicSeed(t *testing.T) {
 	for i := range a.Samples {
 		if a.Samples[i] != b.Samples[i] {
 			t.Fatalf("shot %d differs across identical runs: %d vs %d", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+func TestDistributedSamplingZeroWeightRanks(t *testing.T) {
+	// The GHZ output has exactly two nonzero amplitudes, so most ranks carry
+	// exactly zero probability weight and the rank-selection CDF is full of
+	// zero-width buckets. Every shot must land on |0…0⟩ or |1…1⟩.
+	c := circuit.GHZ(10)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(plan, Options{Ranks: 4, Init: InitZero, SampleShots: 500, SampleSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Samples {
+		if s != 0 && s != (1<<10)-1 {
+			t.Fatalf("shot %d sampled zero-probability state %d", i, s)
 		}
 	}
 }

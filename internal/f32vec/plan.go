@@ -31,6 +31,14 @@ func (v *Vector) RunPlan(p *schedule.Plan) error {
 			}
 			v.permuteBits(perm)
 		case schedule.OpSwap:
+			if op.Perm != nil {
+				perm := make([]int, v.N)
+				copy(perm, op.Perm)
+				for q := p.L; q < p.N; q++ {
+					perm[q] = q
+				}
+				v.permuteBits(perm)
+			}
 			for j := range op.LocalPos {
 				v.swapBits(op.LocalPos[j], op.GlobalPos[j])
 			}

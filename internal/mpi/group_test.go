@@ -41,6 +41,51 @@ func TestGroupAlltoallTwoBitsAmongSixteenRanks(t *testing.T) {
 	}
 }
 
+func TestGroupAlltoallGatherMatchesManualUnpack(t *testing.T) {
+	// Every rank posts a 16-element buffer whose values encode
+	// (rank, index); the gather pulls each receiver's chunk reversed. The
+	// result must match what a plain GroupAlltoall of pre-reversed chunks
+	// would deliver.
+	const size, q, chunk = 8, 2, 4
+	w := NewWorld(size)
+	err := w.Run(func(c *Comm) error {
+		post := make([]complex128, (1<<q)*chunk)
+		for i := range post {
+			post[i] = complex(float64(c.Rank()), float64(i))
+		}
+		recv := make([][]complex128, 1<<q)
+		for j := range recv {
+			recv[j] = make([]complex128, chunk)
+		}
+		bits := []int{0, 2}
+		c.GroupAlltoallGather(bits, post, recv, func(member int, src, dst []complex128) {
+			for t := range dst {
+				dst[t] = src[member*chunk+len(dst)-1-t]
+			}
+		})
+		me := c.Rank()&1 | (c.Rank()>>2&1)<<1
+		for j := 0; j < 1<<q; j++ {
+			src := c.Rank() &^ 0b101
+			if j&1 != 0 {
+				src |= 1
+			}
+			if j&2 != 0 {
+				src |= 4
+			}
+			for t := 0; t < chunk; t++ {
+				want := complex(float64(src), float64(me*chunk+chunk-1-t))
+				if recv[j][t] != want {
+					return fmt.Errorf("rank %d recv[%d][%d] = %v, want %v", c.Rank(), j, t, recv[j][t], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGroupAlltoallRejectsBadArgs(t *testing.T) {
 	w := NewWorld(4)
 	err := w.Run(func(c *Comm) error {

@@ -72,7 +72,14 @@ func (w *World) Size() int { return w.size }
 
 // Run spawns one goroutine per rank executing fn and waits for all of them.
 // The first panic is re-raised on the caller.
+//
+// A rank that returns an error (or panics) poisons the world's barrier, so
+// ranks blocked inside a collective unwind immediately instead of waiting
+// for a participant that will never arrive — Run reports the failure rather
+// than deadlocking. Poisoned ranks' partial results are discarded along
+// with the world.
 func (w *World) Run(fn func(c *Comm) error) error {
+	w.bar.reset()
 	errs := make([]error, w.size)
 	panics := make([]any, w.size)
 	var wg sync.WaitGroup
@@ -82,10 +89,19 @@ func (w *World) Run(fn func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if _, ok := p.(barrierPoisoned); ok {
+						// Unwound out of a collective after another rank
+						// failed; that rank carries the real error.
+						return
+					}
 					panics[rank] = p
+					w.bar.poison()
 				}
 			}()
-			errs[rank] = fn(&Comm{w: w, rank: rank, frand: w.newFaultRand(rank)})
+			if err := fn(&Comm{w: w, rank: rank, frand: w.newFaultRand(rank)}); err != nil {
+				errs[rank] = err
+				w.bar.poison()
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -220,6 +236,71 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 	c.Barrier()
 }
 
+// GroupAlltoallGather is GroupAlltoall with the receive copy replaced by an
+// indexed gather: every rank posts its full local buffer and each receiver
+// calls gather(me, src, recv[j]) to pull the chunk it needs out of a
+// source's posted buffer, where me is the receiver's member index within its
+// group. This is the fused local-permutation + swap unpack of Sec. 3.4 — the
+// permutation that would otherwise need its own full-state pass rides along
+// inside the copy the all-to-all performs anyway. gather must fill dst
+// entirely from src; it receives whole chunks (rather than a per-element
+// index function) so the caller can tile the gather for cache locality. The
+// mapping is the same for every source because all ranks apply the same
+// local relabeling, so gather is keyed only by the receiver's member index.
+func (c *Comm) GroupAlltoallGather(bitPositions []int, post []complex128, recv [][]complex128, gather func(member int, src, dst []complex128)) {
+	w := c.w
+	q := len(bitPositions)
+	if len(recv) != 1<<q {
+		panic("mpi: GroupAlltoallGather chunk count must be 2^q")
+	}
+	var mask int
+	for _, b := range bitPositions {
+		if 1<<b >= w.size {
+			panic(fmt.Sprintf("mpi: bit position %d out of range for %d ranks", b, w.size))
+		}
+		mask |= 1 << b
+	}
+	memberRank := func(j int) int {
+		r := c.rank &^ mask
+		for t, b := range bitPositions {
+			if j&(1<<t) != 0 {
+				r |= 1 << b
+			}
+		}
+		return r
+	}
+	me := 0
+	for t, b := range bitPositions {
+		if c.rank&(1<<b) != 0 {
+			me |= 1 << t
+		}
+	}
+	if f := w.fault; f != nil {
+		c.faultDelay(f.PostDelay)
+	}
+	w.board[c.rank] = [][]complex128{post}
+	c.Barrier()
+	order := c.deliveryOrder(1 << q)
+	for i := 0; i < 1<<q; i++ {
+		j := i
+		if order != nil {
+			j = order[i]
+		}
+		src := memberRank(j)
+		full := w.board[src][0]
+		dst := recv[j]
+		gather(me, full, dst)
+		if src != c.rank {
+			w.Traffic.Bytes.Add(int64(16 * len(dst)))
+		}
+	}
+	c.Barrier()
+	if c.rank == 0 {
+		w.Traffic.Steps.Add(1)
+	}
+	c.Barrier()
+}
+
 // AllreduceSum returns the sum of x over all ranks (the final reduction of
 // the entropy calculation, Sec. 4.2.2).
 func (c *Comm) AllreduceSum(x float64) float64 {
@@ -279,14 +360,21 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 // primitives cannot see. Call from a single rank.
 func (c *Comm) AddSteps(n int) { c.w.Traffic.Steps.Add(int64(n)) }
 
-// barrier is a reusable sense-counting barrier.
+// barrier is a reusable sense-counting barrier that can be poisoned: once a
+// rank fails, every current and future wait unwinds via a barrierPoisoned
+// panic instead of blocking on a participant that will never arrive.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	failed bool
 }
+
+// barrierPoisoned unwinds a rank goroutine out of a collective after
+// another rank failed. World.Run recovers it; it never escapes the package.
+type barrierPoisoned struct{}
 
 func newBarrier(n int) *barrier {
 	b := &barrier{n: n}
@@ -299,6 +387,10 @@ func (b *barrier) wait() {
 		return
 	}
 	b.mu.Lock()
+	if b.failed {
+		b.mu.Unlock()
+		panic(barrierPoisoned{})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -306,9 +398,29 @@ func (b *barrier) wait() {
 		b.gen++
 		b.cond.Broadcast()
 	} else {
-		for gen == b.gen {
+		for gen == b.gen && !b.failed {
 			b.cond.Wait()
 		}
+		if b.failed {
+			b.mu.Unlock()
+			panic(barrierPoisoned{})
+		}
 	}
+	b.mu.Unlock()
+}
+
+// poison marks the barrier failed and wakes every waiter.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.failed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset re-arms the barrier for a new Run on the same world.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.failed = false
 	b.mu.Unlock()
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestBarrierOrdering(t *testing.T) {
@@ -231,5 +232,131 @@ func TestRunPropagatesError(t *testing.T) {
 	})
 	if err == nil || err.Error() != "boom" {
 		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+// runWithTimeout runs fn through w.Run and fails the test if Run has not
+// returned within the deadline — the deadlock the barrier poisoning exists
+// to prevent. On the pre-fix code the error-path tests below hang here.
+func runWithTimeout(t *testing.T, w *World, fn func(c *Comm) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(fn) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("World.Run deadlocked: ranks still blocked in a collective after a rank failed")
+		return nil
+	}
+}
+
+func TestRunErrorUnblocksBarrier(t *testing.T) {
+	// Regression: one rank returning an error while the remaining ranks sit
+	// inside Barrier used to leave them waiting for an arrival that never
+	// comes, deadlocking Run (and every caller, dist.Run included) forever.
+	w := NewWorld(4)
+	err := runWithTimeout(t, w, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return fmt.Errorf("rank 2 failed")
+		}
+		for i := 0; i < 3; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "rank 2 failed" {
+		t.Errorf("err = %v, want rank 2's failure", err)
+	}
+}
+
+func TestRunErrorUnblocksAllreduce(t *testing.T) {
+	// Same deadlock through a barrier-based collective instead of a bare
+	// Barrier call.
+	w := NewWorld(4)
+	err := runWithTimeout(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return fmt.Errorf("rank 0 failed")
+		}
+		c.AllreduceSum(1)
+		return nil
+	})
+	if err == nil || err.Error() != "rank 0 failed" {
+		t.Errorf("err = %v, want rank 0's failure", err)
+	}
+}
+
+func TestRunErrorUnblocksGroupAlltoall(t *testing.T) {
+	w := NewWorld(4)
+	err := runWithTimeout(t, w, func(c *Comm) error {
+		if c.Rank() == 3 {
+			return fmt.Errorf("rank 3 failed")
+		}
+		send := [][]complex128{{1}, {2}}
+		recv := [][]complex128{make([]complex128, 1), make([]complex128, 1)}
+		c.GroupAlltoall([]int{0}, send, recv)
+		return nil
+	})
+	if err == nil || err.Error() != "rank 3 failed" {
+		t.Errorf("err = %v, want rank 3's failure", err)
+	}
+}
+
+func TestRunPanicUnblocksBarrier(t *testing.T) {
+	// A real panic must also poison the barrier, then re-raise on the caller.
+	w := NewWorld(4)
+	done := make(chan any, 1)
+	go func() {
+		var p any
+		func() {
+			defer func() { p = recover() }()
+			w.Run(func(c *Comm) error {
+				if c.Rank() == 1 {
+					panic("rank 1 exploded")
+				}
+				c.Barrier()
+				return nil
+			})
+		}()
+		done <- p
+	}()
+	select {
+	case p := <-done:
+		if p == nil {
+			t.Error("panic was swallowed instead of re-raised")
+		} else if s, ok := p.(string); !ok || s != "rank 1 exploded" {
+			t.Errorf("re-raised %v, want the rank's panic value", p)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("World.Run deadlocked after a rank panicked mid-collective")
+	}
+}
+
+func TestWorldReusableAfterPoisonedRun(t *testing.T) {
+	// reset() must re-arm the barrier: a clean Run on the same world after a
+	// poisoned one works normally.
+	w := NewWorld(4)
+	err := runWithTimeout(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return fmt.Errorf("first run fails")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("first run should have failed")
+	}
+	var after atomic.Int64
+	err = runWithTimeout(t, w, func(c *Comm) error {
+		c.Barrier()
+		after.Add(1)
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second run on reused world: %v", err)
+	}
+	if after.Load() != 4 {
+		t.Errorf("only %d ranks passed the barrier on the reused world", after.Load())
 	}
 }

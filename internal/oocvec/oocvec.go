@@ -148,6 +148,16 @@ func (v *Vector) ApplyOp(op *schedule.Op) error {
 			permuteBits(amps, v.L, op.Perm)
 		})
 	case schedule.OpSwap:
+		if op.Perm != nil {
+			// Fused local permutation: one streamed pass ahead of the
+			// block exchange (the in-memory engine folds this into the
+			// all-to-all; here it rides the chunk stream).
+			if err := v.streamChunks(func(c int, amps []complex128) {
+				permuteBits(amps, v.L, op.Perm)
+			}); err != nil {
+				return err
+			}
+		}
 		return v.swap(op)
 	}
 	return fmt.Errorf("oocvec: unknown op kind %v", op.Kind)

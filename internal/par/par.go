@@ -1,8 +1,11 @@
 // Package par is the shared-memory parallel layer of the simulator — the
 // stand-in for the OpenMP layer of Sec. 3.3 of Häner & Steiger. Loops over
-// the state vector are statically chunked across a set of goroutine workers,
-// mirroring OpenMP's static schedule with the collapse directive (the
-// iteration space handed to For is already the collapsed, flat outer loop).
+// the state vector are statically chunked across a persistent pool of
+// goroutine workers, mirroring OpenMP's static schedule with the collapse
+// directive (the iteration space handed to For is already the collapsed,
+// flat outer loop). Like an OpenMP thread team, the workers outlive any one
+// loop: a sweep costs chunk handoffs over a channel, not goroutine
+// creation.
 package par
 
 import (
@@ -30,45 +33,58 @@ func SetWorkers(n int) int {
 // Workers returns the current worker count.
 func Workers() int { return int(workers.Load()) }
 
-// For runs f over [0, n) split into contiguous chunks, one chunk per worker,
-// mimicking OpenMP static scheduling. grain is the minimum chunk size; work
-// smaller than one grain runs inline on the caller. f must be safe to call
-// concurrently on disjoint ranges.
-func For(n, grain int, f func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if grain < 1 {
-		grain = 1
-	}
-	w := Workers()
-	if w > n/grain {
-		w = n / grain
-	}
-	if w <= 1 {
-		f(0, n)
-		return
-	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+// task is one contiguous chunk handed to the pool.
+type task struct {
+	f       func(slot, lo, hi int)
+	slot    int
+	lo, hi  int
+	pending *atomic.Int64 // outstanding chunks of the owning call
+	done    chan struct{} // closed when pending reaches zero
 }
 
-// ReduceFloat64 runs f over [0, n) in parallel chunks; each chunk returns a
-// partial float64 which is summed. Used for norms, probabilities and the
-// entropy reduction of Sec. 4.2.2.
-func ReduceFloat64(n, grain int, f func(lo, hi int) float64) float64 {
+// The persistent worker pool. Workers are spawned on demand up to the
+// largest parallelism any call has asked for and then live for the
+// process, blocked on the queue when idle. Parallelism per call is bounded
+// by its chunk count, not the pool size, so SetWorkers keeps its meaning.
+var (
+	taskq    = make(chan task, 1024)
+	poolMu   sync.Mutex
+	poolSize int
+)
+
+func ensurePool(n int) {
+	if n <= poolPeek() {
+		return
+	}
+	poolMu.Lock()
+	for poolSize < n {
+		go func() {
+			for t := range taskq {
+				runTask(t)
+			}
+		}()
+		poolSize++
+	}
+	poolMu.Unlock()
+}
+
+func poolPeek() int {
+	poolMu.Lock()
+	n := poolSize
+	poolMu.Unlock()
+	return n
+}
+
+func runTask(t task) {
+	t.f(t.slot, t.lo, t.hi)
+	if t.pending.Add(-1) == 0 {
+		close(t.done)
+	}
+}
+
+// width computes the chunk parallelism of a call, preserving the grain
+// semantics: work smaller than one grain per worker shrinks the team.
+func width(n, grain int) int {
 	if n <= 0 {
 		return 0
 	}
@@ -79,26 +95,80 @@ func ReduceFloat64(n, grain int, f func(lo, hi int) float64) float64 {
 	if w > n/grain {
 		w = n / grain
 	}
-	if w <= 1 {
-		return f(0, n)
-	}
+	return w
+}
+
+// dispatch splits [0, n) into at most w contiguous chunks and runs
+// f(slot, lo, hi) over all of them: the first chunk on the caller (so the
+// caller works instead of idling) and the rest on the pool. While waiting,
+// the caller drains the queue, which keeps nested and concurrent calls
+// deadlock-free on the fixed pool. Requires w ≥ 2.
+func dispatch(n, w int, f func(slot, lo, hi int)) {
 	chunk := (n + w - 1) / w
-	parts := make([]float64, (n+chunk-1)/chunk)
-	var wg sync.WaitGroup
-	idx := 0
-	for lo := 0; lo < n; lo += chunk {
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var pending atomic.Int64
+	pending.Store(int64(nchunks - 1))
+	done := make(chan struct{})
+	ensurePool(nchunks - 1)
+	slot := 1
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(slot, lo, hi int) {
-			defer wg.Done()
-			parts[slot] = f(lo, hi)
-		}(idx, lo, hi)
-		idx++
+		t := task{f: f, slot: slot, lo: lo, hi: hi, pending: &pending, done: done}
+		select {
+		case taskq <- t:
+		default:
+			// Queue full (heavily nested or very wide fan-out): run the
+			// chunk on the caller rather than block.
+			runTask(t)
+		}
+		slot++
 	}
-	wg.Wait()
+	f(0, 0, chunk)
+	for {
+		select {
+		case t := <-taskq:
+			runTask(t)
+		case <-done:
+			return
+		}
+	}
+}
+
+// For runs f over [0, n) split into contiguous chunks, one chunk per worker,
+// mimicking OpenMP static scheduling. grain is the minimum chunk size; work
+// smaller than one grain runs inline on the caller. f must be safe to call
+// concurrently on disjoint ranges.
+func For(n, grain int, f func(lo, hi int)) {
+	w := width(n, grain)
+	if w <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	dispatch(n, w, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// ReduceFloat64 runs f over [0, n) in parallel chunks; each chunk returns a
+// partial float64 which is summed. Used for norms, probabilities and the
+// entropy reduction of Sec. 4.2.2.
+func ReduceFloat64(n, grain int, f func(lo, hi int) float64) float64 {
+	w := width(n, grain)
+	if w <= 1 {
+		if n <= 0 {
+			return 0
+		}
+		return f(0, n)
+	}
+	parts := make([]float64, w)
+	dispatch(n, w, func(slot, lo, hi int) { parts[slot] = f(lo, hi) })
 	var sum float64
 	for _, p := range parts {
 		sum += p

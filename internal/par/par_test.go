@@ -62,6 +62,71 @@ func TestReduceEmpty(t *testing.T) {
 	}
 }
 
+func TestForNested(t *testing.T) {
+	// A worker-pool For must not deadlock when the body itself calls For:
+	// waiting callers steal queued chunks instead of blocking on pool slots.
+	old := SetWorkers(2)
+	t.Cleanup(func() { SetWorkers(old) })
+	n, m := 64, 64
+	var total int64
+	For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(m, 1, func(lo2, hi2 int) {
+				atomic.AddInt64(&total, int64(hi2-lo2))
+			})
+		}
+	})
+	if total != int64(n*m) {
+		t.Errorf("nested For covered %d elements, want %d", total, n*m)
+	}
+}
+
+func TestForConcurrent(t *testing.T) {
+	// Many goroutines hammering the shared pool at once: every call must
+	// still cover its own range exactly once.
+	old := SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(old) })
+	const callers = 16
+	const n = 512
+	done := make(chan [n]int32, callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			var seen [n]int32
+			For(n, 8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			done <- seen
+		}()
+	}
+	for c := 0; c < callers; c++ {
+		seen := <-done
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("caller %d: index %d visited %d times", c, i, v)
+			}
+		}
+	}
+}
+
+func TestReduceFloat64Nested(t *testing.T) {
+	old := SetWorkers(3)
+	t.Cleanup(func() { SetWorkers(old) })
+	got := ReduceFloat64(10, 1, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += ReduceFloat64(10, 1, func(lo2, hi2 int) float64 {
+				return float64(hi2 - lo2)
+			})
+		}
+		return s
+	})
+	if got != 100 {
+		t.Errorf("nested reduce = %v, want 100", got)
+	}
+}
+
 func TestSetWorkersResets(t *testing.T) {
 	old := SetWorkers(5)
 	t.Cleanup(func() { SetWorkers(old) })

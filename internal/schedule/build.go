@@ -153,6 +153,7 @@ func (b *builder) run() (*Plan, error) {
 	if b.stats.Clusters > 0 {
 		b.stats.GatesPerCluster = float64(b.gatesInClusters) / float64(b.stats.Clusters)
 	}
+	b.ops = fuseSwapPerms(b.ops, &b.stats)
 	plan := &Plan{
 		N:          b.n,
 		L:          b.l,
@@ -407,6 +408,29 @@ func (b *builder) emitSwap(cur, next uint64) {
 		b.loc[localPos[j]], b.loc[globalPos[j]] = gq, lq
 		b.pos[gq], b.pos[lq] = localPos[j], globalPos[j]
 	}
+}
+
+// fuseSwapPerms is the peephole of the single-pass permutation pipeline: an
+// OpLocalPerm immediately followed by the OpSwap it was emitted for folds
+// into the swap op (Op.Perm), so engines execute the relabeling inside the
+// all-to-all pack/unpack loops instead of as a separate full-state sweep.
+// Stats.LocalPerms keeps counting the permutations wherever they execute;
+// Stats.FusedPerms records how many were folded.
+func fuseSwapPerms(ops []Op, stats *Stats) []Op {
+	out := make([]Op, 0, len(ops))
+	for i := 0; i < len(ops); i++ {
+		if ops[i].Kind == OpLocalPerm && i+1 < len(ops) &&
+			ops[i+1].Kind == OpSwap && ops[i+1].Perm == nil {
+			sw := ops[i+1]
+			sw.Perm = ops[i].Perm
+			out = append(out, sw)
+			stats.FusedPerms++
+			i++
+			continue
+		}
+		out = append(out, ops[i])
+	}
+	return out
 }
 
 func setBits(m uint64) []int {

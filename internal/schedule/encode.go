@@ -107,6 +107,9 @@ func (p *Plan) validate() error {
 			if len(op.LocalPos) != len(op.GlobalPos) || len(op.LocalPos) == 0 {
 				return fmt.Errorf("schedule: op %d: unbalanced swap", i)
 			}
+			if op.Perm != nil && len(op.Perm) != p.L {
+				return fmt.Errorf("schedule: op %d: fused perm length %d, want %d", i, len(op.Perm), p.L)
+			}
 		default:
 			return fmt.Errorf("schedule: op %d: unknown kind %d", i, int(op.Kind))
 		}

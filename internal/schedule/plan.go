@@ -52,7 +52,10 @@ type Op struct {
 	Positions []int
 
 	// OpLocalPerm: Perm[p] is the new location of the qubit at local
-	// location p; len(Perm) == l.
+	// location p; len(Perm) == l. On an OpSwap, a non-nil Perm is a local
+	// permutation fused into the swap (applied logically BEFORE the
+	// exchange): engines fold it into the all-to-all pack/unpack loops so
+	// it costs no separate full-state sweep.
 	Perm []int
 
 	// OpSwap: pairwise exchange LocalPos[j] ↔ GlobalPos[j].
@@ -75,6 +78,9 @@ type Stats struct {
 	Clusters    int // fused-gate kernel invocations
 	DiagonalOps int // specialized diagonal executions (incl. global ones)
 	LocalPerms  int
+	// FusedPerms counts the local permutations folded into their adjacent
+	// global-to-local swap (a subset of LocalPerms).
+	FusedPerms int
 	// ClusterSizes[k] counts clusters acting on exactly k qubits.
 	ClusterSizes map[int]int
 	// GatesPerCluster is the mean number of circuit gates per cluster.
@@ -129,6 +135,14 @@ func (p *Plan) Run(v *statevec.Vector) error {
 			}
 			v.PermuteBits(perm)
 		case OpSwap:
+			if op.Perm != nil {
+				perm := make([]int, p.N)
+				copy(perm, op.Perm)
+				for q := p.L; q < p.N; q++ {
+					perm[q] = q
+				}
+				v.PermuteBits(perm)
+			}
 			for j := range op.LocalPos {
 				v.SwapBits(op.LocalPos[j], op.GlobalPos[j])
 			}
@@ -183,7 +197,11 @@ func (p *Plan) Summary() string {
 		case OpLocalPerm:
 			fmt.Fprintf(&b, "  perm    local\n")
 		case OpSwap:
-			fmt.Fprintf(&b, "  SWAP    local=%v global=%v\n", op.LocalPos, op.GlobalPos)
+			if op.Perm != nil {
+				fmt.Fprintf(&b, "  SWAP    local=%v global=%v (fused perm)\n", op.LocalPos, op.GlobalPos)
+			} else {
+				fmt.Fprintf(&b, "  SWAP    local=%v global=%v\n", op.LocalPos, op.GlobalPos)
+			}
 		}
 	}
 	return b.String()

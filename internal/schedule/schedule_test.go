@@ -346,6 +346,38 @@ func TestRandomCircuitPlanEquivalenceProperty(t *testing.T) {
 	}
 }
 
+func TestSwapPermFusion(t *testing.T) {
+	// The peephole must fold every OpLocalPerm that immediately precedes a
+	// swap into the swap op, count the folds in Stats.FusedPerms, and keep
+	// plan execution exact (assertPlanEquivalent runs the fused plan).
+	c := supremacy(16, 25, 15)
+	plan := assertPlanEquivalent(t, c, DefaultOptions(10))
+	fused := 0
+	for i := range plan.Ops {
+		op := &plan.Ops[i]
+		if op.Kind == OpSwap && op.Perm != nil {
+			fused++
+			if len(op.Perm) != plan.L {
+				t.Errorf("op %d: fused perm length %d, want l=%d", i, len(op.Perm), plan.L)
+			}
+		}
+		if op.Kind == OpLocalPerm && i+1 < len(plan.Ops) &&
+			plan.Ops[i+1].Kind == OpSwap && plan.Ops[i+1].Perm == nil {
+			t.Errorf("op %d: unfused OpLocalPerm left ahead of a plain OpSwap", i)
+		}
+	}
+	if fused == 0 {
+		t.Error("no fused swap in a multi-stage supremacy plan")
+	}
+	if plan.Stats.FusedPerms != fused {
+		t.Errorf("Stats.FusedPerms = %d, plan has %d fused swaps", plan.Stats.FusedPerms, fused)
+	}
+	if plan.Stats.LocalPerms < plan.Stats.FusedPerms {
+		t.Errorf("LocalPerms %d < FusedPerms %d — fused perms must stay counted",
+			plan.Stats.LocalPerms, plan.Stats.FusedPerms)
+	}
+}
+
 func TestOptionsValidation(t *testing.T) {
 	c := supremacy(9, 8, 1)
 	if _, err := Build(c, Options{LocalQubits: 0, KMax: 1}); err == nil {

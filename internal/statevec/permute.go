@@ -3,6 +3,7 @@ package statevec
 import (
 	"fmt"
 
+	"qusim/internal/kernels"
 	"qusim/internal/par"
 )
 
@@ -42,11 +43,44 @@ func (v *Vector) SwapBits(a, b int) {
 
 // PermuteBits relabels bit position p to perm[p] for every amplitude:
 // new index bit perm[p] = old index bit p. perm must be a permutation of
-// 0…n−1. The permutation is decomposed into transpositions executed with
-// the SwapBits kernel.
+// 0…n−1.
+//
+// The permutation is compiled into per-shift-distance bit masks and
+// executed as a single gather pass into the scratch vector (one read of the
+// state plus one write — ≤ 2 full-state passes however many bits move),
+// replacing the transposition chain that cost one half-state sweep per
+// 2-cycle step. A lone transposition still runs through SwapBits, which
+// touches only half the amplitudes and needs no scratch.
 func (v *Vector) PermuteBits(perm []int) {
 	if len(perm) != v.N {
 		panic(fmt.Sprintf("statevec: PermuteBits got %d entries for n=%d", len(perm), v.N))
+	}
+	bp := kernels.CompileBitPermutation(perm)
+	if bp.Identity() {
+		return
+	}
+	if a, b, ok := bp.Transposition(); ok {
+		v.SwapBits(a, b)
+		return
+	}
+	if v.scratch == nil {
+		// First touch happens inside the gather pass, under the same par
+		// chunking as every later sweep — the NUMA placement story of
+		// Sec. 3.3 is unchanged.
+		v.scratch = make([]complex128, len(v.Amps))
+	}
+	kernels.PermuteInto(v.scratch, v.Amps, bp)
+	v.Amps, v.scratch = v.scratch, v.Amps
+}
+
+// PermuteBitsSwapChain is the pre-optimization implementation of
+// PermuteBits: the permutation decomposed into up to n−1 SwapBits
+// transpositions, each a half-state sweep. Kept as the differential
+// reference for the single-pass kernel (package verify) and as the
+// baseline of BenchmarkPermute.
+func (v *Vector) PermuteBitsSwapChain(perm []int) {
+	if len(perm) != v.N {
+		panic(fmt.Sprintf("statevec: PermuteBitsSwapChain got %d entries for n=%d", len(perm), v.N))
 	}
 	cur := make([]int, v.N) // cur[p] = where original bit p currently lives
 	loc := make([]int, v.N) // loc[x] = which original bit lives at position x
@@ -69,9 +103,12 @@ func (v *Vector) PermuteBits(perm []int) {
 }
 
 // ReverseBits reverses the significance of all n bit positions (used by the
-// QFT example, whose output is bit-reversed).
+// QFT example, whose output is bit-reversed). It runs through the
+// single-pass permutation kernel instead of ⌊n/2⌋ swap sweeps.
 func (v *Vector) ReverseBits() {
-	for i, j := 0, v.N-1; i < j; i, j = i+1, j-1 {
-		v.SwapBits(i, j)
+	perm := make([]int, v.N)
+	for i := range perm {
+		perm[i] = v.N - 1 - i
 	}
+	v.PermuteBits(perm)
 }

@@ -101,6 +101,48 @@ func TestReverseBits(t *testing.T) {
 	}
 }
 
+func TestPermuteBitsMatchesSwapChain(t *testing.T) {
+	// The single-pass gather kernel and the transposition-chain reference
+	// must agree exactly (both are pure relabelings — no arithmetic).
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(9)
+		perm := rng.Perm(n)
+		v := randomVector(n, rng)
+		w := v.Clone()
+		v.PermuteBits(perm)
+		w.PermuteBitsSwapChain(perm)
+		for i := range v.Amps {
+			if v.Amps[i] != w.Amps[i] {
+				t.Fatalf("trial %d n=%d perm=%v: kernels disagree at index %d", trial, n, perm, i)
+			}
+		}
+	}
+}
+
+func TestPermuteBitsComposes(t *testing.T) {
+	// PermuteBits(p2 ∘ p1) = PermuteBits(p1); PermuteBits(p2) — the layout
+	// tracking in the distributed engine and the verify backend depends on
+	// this composition law.
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(6)
+		p1, p2 := rng.Perm(n), rng.Perm(n)
+		comp := make([]int, n)
+		for i := range comp {
+			comp[i] = p2[p1[i]]
+		}
+		v := randomVector(n, rng)
+		w := v.Clone()
+		v.PermuteBits(p1)
+		v.PermuteBits(p2)
+		w.PermuteBits(comp)
+		if d := v.MaxDiff(w); d != 0 {
+			t.Errorf("trial %d: composition broken: %g", trial, d)
+		}
+	}
+}
+
 func TestGateCommutesWithPermutation(t *testing.T) {
 	// Applying U to qubit q then permuting equals permuting then applying U
 	// to perm[q] — the core invariant the distributed qubit remapping

@@ -174,13 +174,34 @@ func (v *Vector) Sample(rng *rand.Rand, shots int) []int {
 	total := cdf[len(cdf)-1]
 	out := make([]int, shots)
 	for s := range out {
-		r := rng.Float64() * total
-		out[s] = sort.SearchFloat64s(cdf[1:], r)
-		if out[s] >= len(v.Amps) {
-			out[s] = len(v.Amps) - 1
-		}
+		out[s] = SearchCDF(cdf, rng.Float64()*total)
 	}
 	return out
+}
+
+// SearchCDF returns the bucket of the cumulative distribution cdf (bucket i
+// spans [cdf[i], cdf[i+1])) that contains u, skipping zero-width buckets: a
+// plain binary search returns the FIRST boundary ≥ u, so a draw landing
+// exactly on a boundary shared by empty buckets would select a
+// zero-probability state. Used by Sample and by the distributed sampler
+// (both for picking the owning rank and the in-rank index).
+func SearchCDF(cdf []float64, u float64) int {
+	m := len(cdf) - 1
+	idx := sort.SearchFloat64s(cdf[1:], u)
+	// A bucket whose right edge is still ≤ u cannot contain u — advance
+	// past the zero-width run the search may have landed on.
+	for idx < m-1 && cdf[idx+1] <= u {
+		idx++
+	}
+	if idx >= m {
+		idx = m - 1
+	}
+	// If u fell at or beyond the final boundary (floating-point edge of
+	// u = total), back out of any trailing zero-width buckets.
+	for idx > 0 && cdf[idx+1] == cdf[idx] {
+		idx--
+	}
+	return idx
 }
 
 // MaxDiff returns the largest modulus of element-wise difference to o.

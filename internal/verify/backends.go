@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"math/rand"
 
 	"qusim/internal/circuit"
 	"qusim/internal/dist"
@@ -159,6 +160,61 @@ func (b *distBackend) Run(c *circuit.Circuit) ([]complex128, error) {
 	}
 	b.events += res.FaultEvents
 	return unpermute(plan, res.Amplitudes), nil
+}
+
+// permuted-layout backend -----------------------------------------------------
+
+type permutedBackend struct {
+	name  string
+	seed  int64
+	every int
+}
+
+// Permuted returns a backend that exercises the single-pass bit-permutation
+// kernel: every `every` gates it draws a seeded random relabeling of all n
+// bit positions and applies it through statevec.PermuteBits (the compiled
+// gather path), then keeps executing gates at their relocated positions.
+// The final state is restored to logical order through
+// PermuteBitsSwapChain — the pre-optimization transposition-chain
+// implementation — so a divergence from the naive reference pins the
+// gather kernel against the chain on the same random permutations. The
+// fused perm+swap path gets the same treatment under MPI faults via the
+// DistributedFaulty scenarios (the scheduler now emits fused swaps).
+func Permuted(seed int64) Backend {
+	return &permutedBackend{name: "statevec/permuted-layout", seed: seed, every: 4}
+}
+
+func (b *permutedBackend) Name() string { return b.name }
+
+func (b *permutedBackend) Run(c *circuit.Circuit) ([]complex128, error) {
+	rng := rand.New(rand.NewSource(b.seed))
+	v := statevec.New(c.N)
+	pos := make([]int, c.N) // pos[q] = current bit location of logical qubit q
+	for q := range pos {
+		pos[q] = q
+	}
+	mapped := make([]int, 0, 4)
+	for i := range c.Gates {
+		if i > 0 && i%b.every == 0 {
+			perm := rng.Perm(c.N)
+			v.PermuteBits(perm)
+			for q := range pos {
+				pos[q] = perm[pos[q]]
+			}
+		}
+		g := &c.Gates[i]
+		mapped = mapped[:0]
+		for _, q := range g.Qubits {
+			mapped = append(mapped, pos[q])
+		}
+		v.Apply(g.Matrix(), mapped...)
+	}
+	restore := make([]int, c.N) // bit pos[q] goes back to bit q
+	for q, p := range pos {
+		restore[p] = q
+	}
+	v.PermuteBitsSwapChain(restore)
+	return v.Amps, nil
 }
 
 // per-gate baseline backend ---------------------------------------------------

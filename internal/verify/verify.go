@@ -109,6 +109,7 @@ func Matrix(quick bool) (ref Backend, backends []Backend) {
 	backends = []Backend{
 		Kernel(kernels.Specialized),
 		Kernel(kernels.Split),
+		Permuted(7),
 		Scheduled(2),
 		Distributed(4),
 		Baseline(4),
