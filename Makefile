@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race verify fuzz bench bench-permute
+.PHONY: build test race verify fuzz bench bench-permute bench-ckpt
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,10 @@ bench:
 # scheduler noise on shared machines.
 bench-permute:
 	$(GO) test -run '^$$' -bench 'BenchmarkPermute|BenchmarkSwapFusion' -benchtime 5x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_permute.json
+
+# Checkpoint subsystem baseline: shard write/restore throughput and the
+# end-to-end overhead per-stage snapshots add to a distributed run,
+# recorded (with the derived checkpointed-vs-plain ratio) in
+# BENCH_ckpt.json.
+bench-ckpt:
+	$(GO) test -run '^$$' -bench 'BenchmarkCheckpoint' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_ckpt.json

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"qusim/internal/circuit"
+	"qusim/internal/ckpt"
 	"qusim/internal/dist"
 	"qusim/internal/emulate"
 	"qusim/internal/gate"
@@ -392,6 +393,71 @@ func BenchmarkSwapFusion(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCheckpoint records the checkpoint subsystem's cost baseline
+// (BENCH_ckpt.json via make bench-ckpt): single-shard snapshot commit and
+// verified restore throughput for a 16 MiB state, and the end-to-end
+// overhead per-stage snapshots add to a distributed supremacy run — the
+// plain/checkpointed pair yields the recorded slowdown factor.
+func BenchmarkCheckpoint(b *testing.B) {
+	const n = benchState
+	state := statevec.NewUniform(n)
+	meta := ckpt.Meta{PlanHash: "bench", N: n, L: n, Ranks: 1}
+
+	b.Run("shard/write", func(b *testing.B) {
+		dir := b.TempDir()
+		b.SetBytes(int64(16 << n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ckpt.SaveState(dir, meta, state.Amps, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shard/restore", func(b *testing.B) {
+		dir := b.TempDir()
+		man, err := ckpt.SaveState(dir, meta, state.Amps, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]complex128, 1<<n)
+		b.SetBytes(int64(16 << n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ckpt.RestoreState(dir, man, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	c := benchSupremacy(n, 25)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(n-3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dist/plain", func(b *testing.B) {
+		b.SetBytes(int64(16 << n))
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.Run(plan, dist.Options{Ranks: 8, Init: dist.InitUniform}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dist/checkpointed", func(b *testing.B) {
+		b.SetBytes(int64(16 << n))
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir() // fresh dir so every run commits, none resumes
+			b.StartTimer()
+			if _, err := dist.Run(plan, dist.Options{
+				Ranks: 8, Init: dist.InitUniform,
+				Checkpoint: &ckpt.Policy{Dir: dir},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func randRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -45,10 +45,13 @@ type document struct {
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 // pairs maps an optimized leaf name to the baseline sibling it is compared
-// against when deriving speedups.
+// against when deriving speedups. A ratio below 1 records an overhead (the
+// checkpointed/plain pair: snapshots cost time and the recorded factor says
+// how much).
 var pairs = map[string]string{
-	"singlepass": "swapchain",
-	"fused":      "separate",
+	"singlepass":   "swapchain",
+	"fused":        "separate",
+	"checkpointed": "plain",
 }
 
 func main() {

@@ -7,6 +7,8 @@
 //	qsim -qubits 24 -depth 25 -ranks 8        # distributed, 8 ranks
 //	qsim -circuit qft -qubits 20              # QFT
 //	qsim -file circ.txt -ranks 4 -baseline    # per-gate reference scheme
+//	qsim -qubits 24 -ranks 8 -checkpoint-dir ck          # snapshot at stage boundaries
+//	qsim -qubits 24 -ranks 8 -checkpoint-dir ck -resume  # continue after a crash
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"qusim/internal/circuit"
+	"qusim/internal/ckpt"
 	"qusim/internal/dist"
 	"qusim/internal/kernels"
 	"qusim/internal/par"
@@ -39,6 +42,11 @@ func main() {
 		shots    = flag.Int("sample", 0, "draw this many samples from the output distribution")
 		profile  = flag.Bool("profile", false, "print a per-op-kind time breakdown")
 		verbose  = flag.Bool("v", false, "print the plan summary")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "commit crash-consistent snapshots into this directory at stage boundaries")
+		ckptEvery = flag.Int("checkpoint-every", 1, "snapshot every N completed stages")
+		resume    = flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		commDL    = flag.Duration("comm-deadline", 0, "abort a run whose collectives stall longer than this (0 = rely on exact dead-rank detection)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -98,14 +106,25 @@ func main() {
 	if *verbose {
 		fmt.Print(plan.Summary())
 	}
-	res, err := dist.Run(plan, dist.Options{
+	opts := dist.Options{
 		Ranks: *ranks, Init: dist.InitUniform,
 		SampleShots: *shots, SampleSeed: *seed, Profile: *profile,
-	})
+		Resume: *resume, CommDeadline: *commDL,
+	}
+	if *ckptDir != "" {
+		opts.Checkpoint = &ckpt.Policy{Dir: *ckptDir, EveryStages: *ckptEvery}
+	} else if *resume {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+	res, err := dist.Run(plan, opts)
 	if err != nil {
 		fatal(err)
 	}
 	report(circ, res, plan)
+	if *ckptDir != "" {
+		fmt.Printf("ckpt:    %d snapshots committed, %d restored, %d restarts\n",
+			res.CheckpointsWritten, res.CheckpointsRestored, res.Restarts)
+	}
 	if *profile {
 		fmt.Println("profile (slowest rank):")
 		for _, e := range res.Profile {

@@ -1,7 +1,9 @@
 // Command qverify runs the differential + metamorphic verification harness
 // across every execution path of the simulator, plus MPI fault-injection
-// scenarios. Exit status 1 means a divergence or property violation was
-// found (reproducers are printed).
+// scenarios and a checkpoint-recovery sweep that crashes a distributed run
+// at every stage boundary and demands a bitwise-identical resumed state.
+// Exit status 1 means a divergence or property violation was found
+// (reproducers are printed).
 //
 // Examples:
 //

@@ -1,0 +1,31 @@
+package ckpt
+
+import "fmt"
+
+// SaveState commits a single-shard snapshot of a full in-memory state —
+// the statevec backend's checkpoint path (the dist engine shards per rank,
+// the out-of-core engine streams chunks; a single-node state is simply one
+// shard covering everything). meta.Ranks must be 1 and len(amps) must be
+// 2^meta.L.
+func SaveState(dir string, meta Meta, amps []complex128, keep int) (*Manifest, error) {
+	if meta.Ranks != 1 {
+		return nil, fmt.Errorf("ckpt: SaveState wants Ranks=1, got %d", meta.Ranks)
+	}
+	if len(amps) != 1<<meta.L {
+		return nil, fmt.Errorf("ckpt: SaveState got %d amps for l=%d", len(amps), meta.L)
+	}
+	info, err := WriteShard(dir, meta, 0, amps)
+	if err != nil {
+		return nil, err
+	}
+	return Commit(dir, meta, []ShardInfo{info}, keep)
+}
+
+// RestoreState loads the single shard of man into dst, verifying every
+// checksum on the way.
+func RestoreState(dir string, man *Manifest, dst []complex128) error {
+	if man.Ranks != 1 || len(man.Shards) != 1 {
+		return fmt.Errorf("ckpt: manifest has %d shards, RestoreState wants exactly 1: %w", len(man.Shards), ErrInvalid)
+	}
+	return ReadShard(dir, man, 0, dst)
+}

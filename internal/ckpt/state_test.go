@@ -1,0 +1,46 @@
+package ckpt
+
+import "testing"
+
+func TestSaveRestoreStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{PlanHash: "plan-a", N: 6, L: 6, Ranks: 1, NextStage: 3}
+	amps := make([]complex128, 1<<6)
+	for i := range amps {
+		amps[i] = complex(float64(i), -float64(i))
+	}
+	if _, err := SaveState(dir, meta, amps, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := FindRestorable(dir, Meta{PlanHash: "plan-a", N: 6, L: 6, Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man == nil {
+		t.Fatal("saved state not found")
+	}
+	if man.NextStage != 3 {
+		t.Fatalf("stage cursor %d, want 3", man.NextStage)
+	}
+	dst := make([]complex128, 1<<6)
+	if err := RestoreState(dir, man, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range amps {
+		if amps[i] != dst[i] {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, amps[i], dst[i])
+		}
+	}
+}
+
+func TestSaveStateRejectsBadShape(t *testing.T) {
+	dir := t.TempDir()
+	amps := make([]complex128, 1<<6)
+	if _, err := SaveState(dir, Meta{N: 6, L: 6, Ranks: 2}, amps, 2); err == nil {
+		t.Error("SaveState accepted Ranks=2")
+	}
+	if _, err := SaveState(dir, Meta{N: 6, L: 5, Ranks: 1}, amps, 2); err == nil {
+		t.Error("SaveState accepted a length/L mismatch")
+	}
+}

@@ -7,6 +7,14 @@
 // It also implements the per-gate baseline scheme of [19]/[5] — pairwise
 // half-vector exchanges for every dense gate on a global qubit — used by
 // the Table 2 speedup comparison.
+//
+// With Options.Checkpoint set, Run becomes crash-tolerant: ranks snapshot
+// their amplitude shards at stage boundaries (package ckpt's atomic
+// commit protocol), collective payloads carry checksums, and any detected
+// transport failure — dead rank, corrupted payload, stalled collective —
+// triggers a restart from the newest valid snapshot that re-executes only
+// the remaining stages. Restored amplitudes are bit-exact, so a recovered
+// run produces the same result as an uninterrupted one.
 package dist
 
 import (
@@ -14,9 +22,12 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"qusim/internal/ckpt"
 	"qusim/internal/kernels"
 	"qusim/internal/mpi"
 	"qusim/internal/schedule"
@@ -42,12 +53,21 @@ type Result struct {
 	Norm        float64
 	Entropy     float64 // Shannon entropy of the output distribution, nats
 
-	CommSteps int   // collective communication steps
-	CommBytes int64 // payload bytes crossing rank boundaries
+	CommSteps int   // collective communication steps (summed over attempts)
+	CommBytes int64 // payload bytes crossing rank boundaries (summed)
 
 	// FaultEvents counts the perturbations injected when Options.Faults
-	// was set (0 on clean runs).
+	// was set (0 on clean runs), summed over attempts.
 	FaultEvents int64
+
+	// Restarts counts recovery attempts after detected failures (0 when
+	// the first attempt succeeded).
+	Restarts int
+	// CheckpointsWritten counts snapshots committed across all attempts.
+	CheckpointsWritten int
+	// CheckpointsRestored counts attempts that started from a snapshot
+	// instead of the initial state.
+	CheckpointsRestored int
 
 	Elapsed     time.Duration // wall time of the slowest rank
 	CommElapsed time.Duration // wall time spent in communication (max rank)
@@ -87,10 +107,30 @@ type Options struct {
 	// synchronization is 78%" breakdowns are measured.
 	Profile bool
 	// Faults arms deterministic fault injection in the simulated MPI layer
-	// (delayed chunk posting, out-of-order delivery, barrier jitter). A
-	// correct run produces identical amplitudes with or without faults;
-	// package verify soaks this invariant.
+	// (delayed chunk posting, out-of-order delivery, barrier jitter, plus
+	// the hard rank-crash and payload-corruption faults). A correct run
+	// produces identical amplitudes with or without the timing faults;
+	// package verify soaks this invariant. Hard faults fire at most once
+	// per plan, so a checkpointed run recovers from them.
 	Faults *mpi.FaultPlan
+
+	// Checkpoint enables crash-consistent snapshots and stage-level
+	// recovery: shards land in Checkpoint.Dir every EveryStages stage
+	// boundaries, and a detected transport failure restarts the run from
+	// the newest valid snapshot (up to Checkpoint.MaxRestarts times).
+	// Setting it also turns on collective payload checksums.
+	Checkpoint *ckpt.Policy
+	// Resume makes the FIRST attempt look for a restorable snapshot in
+	// Checkpoint.Dir before initializing — continuing an earlier process's
+	// interrupted run. Without it only failure recovery restores.
+	Resume bool
+	// CommDeadline bounds each attempt's wall time; a rank hung outside
+	// the communication layer surfaces as a recoverable stall instead of a
+	// hang. Zero disables the bound.
+	CommDeadline time.Duration
+	// VerifyChecksums forces CRC verification of collective payloads even
+	// without a checkpoint policy.
+	VerifyChecksums bool
 }
 
 // ProfileEntry aggregates wall time for one op kind (on the slowest rank).
@@ -98,6 +138,27 @@ type ProfileEntry struct {
 	Kind     string
 	Ops      int
 	Duration time.Duration
+}
+
+// attemptOut collects one attempt's results. It is attempt-local on
+// purpose: an attempt abandoned on deadline may have ranks hung in compute
+// that wake later, and they must not share memory with the next attempt.
+type attemptOut struct {
+	mu          sync.Mutex
+	norm        float64
+	entropy     float64
+	elapsed     time.Duration
+	commElapsed time.Duration
+	amplitudes  []complex128
+	samples     []int
+	profile     []ProfileEntry
+
+	shards  []ckpt.ShardInfo // checkpoint protocol scratch, indexed by rank
+	written atomic.Int64     // snapshots committed this attempt
+
+	// commitErr publishes rank 0's Commit outcome to the other ranks; the
+	// barriers on either side of the commit order the accesses.
+	commitErr error
 }
 
 // Run executes a plan produced by schedule.Build. plan.L must equal
@@ -112,30 +173,102 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("dist: plan has %d global qubits, world provides %d", plan.N-plan.L, g)
 	}
 	l := plan.N - g
-	localLen := 1 << l
 
 	res := &Result{Ranks: ranks, LocalQubits: l}
-	if opts.GatherState {
-		res.Amplitudes = make([]complex128, 1<<plan.N)
+	attempts := 1
+	var meta ckpt.Meta
+	if ck := opts.Checkpoint; ck != nil {
+		if ck.Dir == "" {
+			return nil, fmt.Errorf("dist: checkpoint policy has no directory")
+		}
+		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("dist: checkpoint dir: %w", err)
+		}
+		attempts = ck.Restarts() + 1
+		meta = ckpt.Meta{PlanHash: plan.Fingerprint(), N: plan.N, L: l, Ranks: ranks}
 	}
+
+	tryResume := opts.Resume
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			res.Restarts++
+			tryResume = true // recover from whatever the failed attempt committed
+		}
+		err := runAttempt(plan, opts, l, meta, tryResume, res)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if opts.Checkpoint == nil || !mpi.Recoverable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("dist: giving up after %d restarts: %w", res.Restarts, lastErr)
+}
+
+// runAttempt executes the plan once — possibly from a restored snapshot —
+// and folds the attempt's results and counters into res on success
+// (counters are folded on failure too; result fields only on success).
+func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryResume bool, res *Result) error {
+	ranks := opts.Ranks
+	localLen := 1 << l
+	ck := opts.Checkpoint
+
+	// Recovery walk: newest manifest whose shards all verify, matching this
+	// exact plan and geometry. None found (or resume off) → fresh start.
+	var man *ckpt.Manifest
+	startStage := 0
+	if ck != nil && tryResume {
+		var err error
+		man, err = ckpt.FindRestorable(ck.Dir, meta)
+		if err != nil {
+			return fmt.Errorf("dist: scanning %s for snapshots: %w", ck.Dir, err)
+		}
+		if man != nil {
+			startStage = man.NextStage
+			res.CheckpointsRestored++
+		}
+	}
+
 	w := mpi.NewWorld(ranks)
 	if opts.Faults != nil {
 		w.InjectFaults(opts.Faults)
 	}
-	var mu sync.Mutex
+	w.SetVerifyChecksums(opts.VerifyChecksums || ck != nil)
+	if opts.CommDeadline > 0 {
+		w.SetDeadline(opts.CommDeadline)
+	}
+	out := &attemptOut{}
+	if ck != nil {
+		out.shards = make([]ckpt.ShardInfo, ranks)
+	}
+	if opts.GatherState {
+		out.amplitudes = make([]complex128, 1<<plan.N)
+	}
+	every := 0
+	if ck != nil {
+		every = ck.Every()
+	}
 
 	err := w.Run(func(c *mpi.Comm) error {
 		local := make([]complex128, localLen)
 		scratch := make([]complex128, localLen)
-		switch opts.Init {
-		case InitZero:
-			if c.Rank() == 0 {
-				local[0] = 1
+		if man != nil {
+			if err := ckpt.ReadShard(ck.Dir, man, c.Rank(), local); err != nil {
+				return fmt.Errorf("dist: restoring rank %d from stage-%d snapshot: %w", c.Rank(), man.NextStage, err)
 			}
-		case InitUniform:
-			a := complex(math.Pow(2, -float64(plan.N)/2), 0)
-			for i := range local {
-				local[i] = a
+		} else {
+			switch opts.Init {
+			case InitZero:
+				if c.Rank() == 0 {
+					local[0] = 1
+				}
+			case InitUniform:
+				a := complex(math.Pow(2, -float64(plan.N)/2), 0)
+				for i := range local {
+					local[i] = a
+				}
 			}
 		}
 		start := time.Now()
@@ -145,12 +278,15 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 
 		for i := range plan.Ops {
 			op := &plan.Ops[i]
+			if op.Stage < startStage {
+				continue // already captured by the restored snapshot
+			}
 			t0 := time.Now()
 			switch op.Kind {
 			case schedule.OpCluster:
-				out := kernels.Apply(opts.Variant, local, op.Matrix.Data, op.Positions, scratch)
-				if &out[0] != &local[0] {
-					local, scratch = out, local
+				applied := kernels.Apply(opts.Variant, local, op.Matrix.Data, op.Positions, scratch)
+				if &applied[0] != &local[0] {
+					local, scratch = applied, local
 				}
 			case schedule.OpDiagonal:
 				applyDiagonal(local, op, l, c.Rank())
@@ -168,6 +304,14 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 			if opts.Profile {
 				profDur[op.Kind] += time.Since(t0)
 				profOps[op.Kind]++
+			}
+			// Stage boundary: snapshot the state the remaining stages start
+			// from. The end of the final stage is skipped — there is nothing
+			// left to resume into.
+			if every > 0 && i+1 < len(plan.Ops) && plan.Ops[i+1].Stage != op.Stage && (op.Stage+1)%every == 0 {
+				if err := writeCheckpoint(c, out, meta, ck, local, op.Stage+1); err != nil {
+					return err
+				}
 			}
 		}
 
@@ -192,55 +336,96 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 		}
 		elapsed := time.Since(start)
 
-		mu.Lock()
-		res.Norm = norm
-		res.Entropy = ent
-		if elapsed > res.Elapsed {
-			res.Elapsed = elapsed
+		out.mu.Lock()
+		out.norm = norm
+		out.entropy = ent
+		if elapsed > out.elapsed {
+			out.elapsed = elapsed
 		}
-		if commTime > res.CommElapsed {
-			res.CommElapsed = commTime
+		if commTime > out.commElapsed {
+			out.commElapsed = commTime
 		}
 		if opts.GatherState {
-			copy(res.Amplitudes[c.Rank()<<l:], local)
+			copy(out.amplitudes[c.Rank()<<l:], local)
 		}
 		if samples != nil {
-			if res.Samples == nil {
-				res.Samples = make([]int, opts.SampleShots)
+			if out.samples == nil {
+				out.samples = make([]int, opts.SampleShots)
 			}
 			for s, b := range samples {
 				if b >= 0 {
-					res.Samples[s] = b
+					out.samples[s] = b
 				}
 			}
 		}
 		if opts.Profile {
-			if res.Profile == nil {
-				res.Profile = make([]ProfileEntry, 4)
+			if out.profile == nil {
+				out.profile = make([]ProfileEntry, 4)
 				for k := schedule.OpCluster; k <= schedule.OpSwap; k++ {
-					res.Profile[k].Kind = k.String()
+					out.profile[k].Kind = k.String()
 				}
 			}
 			// Ops and Duration must come from the same rank: report both
 			// from the max-duration rank (≥ so zero-duration kinds still
 			// pick up a consistent op count).
 			for k := range profDur {
-				if profDur[k] >= res.Profile[k].Duration {
-					res.Profile[k].Duration = profDur[k]
-					res.Profile[k].Ops = profOps[k]
+				if profDur[k] >= out.profile[k].Duration {
+					out.profile[k].Duration = profDur[k]
+					out.profile[k].Ops = profOps[k]
 				}
 			}
 		}
-		mu.Unlock()
+		out.mu.Unlock()
 		return nil
 	})
+
+	// Counters accumulate across attempts, success or not. The traffic and
+	// fault counters are atomics, safe even if a deadline left a rank
+	// behind; out.written is atomic for the same reason.
+	res.CommSteps += int(w.Traffic.Steps.Load())
+	res.CommBytes += w.Traffic.Bytes.Load()
+	res.FaultEvents += w.FaultEvents()
+	res.CheckpointsWritten += int(out.written.Load())
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res.CommSteps = int(w.Traffic.Steps.Load())
-	res.CommBytes = w.Traffic.Bytes.Load()
-	res.FaultEvents = w.FaultEvents()
-	return res, nil
+	res.Norm = out.norm
+	res.Entropy = out.entropy
+	res.Elapsed += out.elapsed
+	res.CommElapsed += out.commElapsed
+	res.Amplitudes = out.amplitudes
+	res.Samples = out.samples
+	res.Profile = out.profile
+	return nil
+}
+
+// writeCheckpoint runs the collective snapshot protocol at a stage
+// boundary: every rank persists its shard, a barrier makes all shards
+// durable before anything is promised, rank 0 atomically commits the
+// manifest (the commit point), and a second barrier publishes the outcome.
+// A rank that dies anywhere in the protocol leaves either the previous
+// snapshot or the new one intact — never a half-written mixture.
+func writeCheckpoint(c *mpi.Comm, out *attemptOut, meta ckpt.Meta, pol *ckpt.Policy, local []complex128, nextStage int) error {
+	m := meta
+	m.NextStage = nextStage
+	info, err := ckpt.WriteShard(pol.Dir, m, c.Rank(), local)
+	if err != nil {
+		return fmt.Errorf("dist: writing stage-%d shard for rank %d: %w", nextStage, c.Rank(), err)
+	}
+	out.shards[c.Rank()] = info
+	c.Barrier()
+	if c.Rank() == 0 {
+		_, cerr := ckpt.Commit(pol.Dir, m, out.shards, pol.KeepN())
+		out.commitErr = cerr
+		if cerr == nil {
+			out.written.Add(1)
+		}
+	}
+	c.Barrier()
+	if out.commitErr != nil {
+		return fmt.Errorf("dist: committing stage-%d snapshot: %w", nextStage, out.commitErr)
+	}
+	return nil
 }
 
 // sampleLocal implements distributed sampling: every rank shares only its

@@ -1,18 +1,28 @@
 package mpi
 
 import (
+	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
 // FaultPlan describes deterministic, seeded adversity injected into the
-// message-passing primitives: delayed chunk posting, out-of-order delivery
-// of incoming chunks, and jitter ahead of every barrier entry. None of the
-// perturbations change the semantics of a correct program — they only
-// stretch and reshuffle the interleaving of rank goroutines — so any result
-// difference observed under a FaultPlan (or any data race flagged by the
-// race detector) is a synchronization bug in the communication layer or in
-// an engine built on top of it.
+// message-passing primitives. Two families:
+//
+// Timing perturbations (PostDelay, ShuffleDelivery, BarrierJitter) never
+// change the semantics of a correct program — they only stretch and
+// reshuffle the interleaving of rank goroutines — so any result difference
+// observed under them (or any data race flagged by the race detector) is a
+// synchronization bug in the communication layer or in an engine built on
+// top of it.
+//
+// Hard faults (Crash, Corrupt) DO break the run, on purpose: they model a
+// node loss and an in-flight payload corruption, and exist to prove the
+// detection machinery (dead-rank deadlock detection, payload checksums)
+// and the checkpoint/restart path above it actually fire. Each hard fault
+// fires at most once per plan, so a restarted attempt sharing the plan
+// replays cleanly past the injection point.
 //
 // All randomness is drawn from per-rank generators derived from Seed, so a
 // failing scenario replays exactly.
@@ -21,7 +31,7 @@ type FaultPlan struct {
 	// under the same plan inject the identical perturbation sequence.
 	Seed int64
 	// PostDelay is the maximum random delay inserted before a rank posts
-	// its chunks to an all-to-all board or a pairwise exchange channel
+	// its chunks to an all-to-all board or a pairwise exchange mailbox
 	// (delayed chunk posting).
 	PostDelay time.Duration
 	// ShuffleDelivery randomizes the order in which a rank drains its
@@ -30,12 +40,52 @@ type FaultPlan struct {
 	// BarrierJitter is the maximum random delay inserted before a rank
 	// enters any barrier, desynchronizing collective phases.
 	BarrierJitter time.Duration
+	// Crash, when non-nil, kills one rank at a chosen collective entry.
+	Crash *CrashFault
+	// Corrupt, when non-nil, flips one bit of one rank's payload in a
+	// chosen exchange.
+	Corrupt *CorruptFault
 }
 
+// CrashFault makes Rank vanish — goroutine exits, no error raised, nothing
+// posted — immediately on entering its Collective'th collective (0-based,
+// counted per rank over Barrier, Alltoall, GroupAlltoall,
+// GroupAlltoallGather, AllreduceSum, AllgatherFloat64 and PairExchange
+// entries). The survivors must detect the loss themselves; Run reports an
+// error wrapping ErrRankDead, never a hang. Fires at most once per plan.
+type CrashFault struct {
+	Rank       int
+	Collective int
+
+	fired atomic.Bool
+}
+
+// Fired reports whether the crash has been injected.
+func (c *CrashFault) Fired() bool { return c.fired.Load() }
+
+// CorruptFault flips the low mantissa bit of the first amplitude Rank sends
+// in its Exchange'th payload-carrying collective (0-based, counted per rank
+// over Alltoall, GroupAlltoall, GroupAlltoallGather and PairExchange). The
+// flip happens on a wire copy after checksums are computed, so the sender's
+// own state stays intact and a receiver with SetVerifyChecksums(true) sees
+// exactly what real in-flight corruption would look like. Without
+// checksums the corruption is silent — which is the point. Fires at most
+// once per plan.
+type CorruptFault struct {
+	Rank     int
+	Exchange int
+
+	fired atomic.Bool
+}
+
+// Fired reports whether the corruption has been injected.
+func (c *CorruptFault) Fired() bool { return c.fired.Load() }
+
 // DefaultFaults returns the standard soak configuration: small random
-// delays on posts and barriers plus shuffled delivery. The delays are in
-// the tens-of-microseconds range — large relative to channel and barrier
-// latencies, small enough to keep test wall time reasonable.
+// delays on posts and barriers plus shuffled delivery (no hard faults).
+// The delays are in the tens-of-microseconds range — large relative to
+// mailbox and barrier latencies, small enough to keep test wall time
+// reasonable.
 func DefaultFaults(seed int64) *FaultPlan {
 	return &FaultPlan{
 		Seed:            seed,
@@ -46,12 +96,15 @@ func DefaultFaults(seed int64) *FaultPlan {
 }
 
 // InjectFaults arms the world with a fault plan. It must be called before
-// Run; a nil plan disarms injection.
+// Run; a nil plan disarms injection. Hard-fault fire-once state lives in
+// the plan, not the world, so a fresh world sharing the plan (a restart
+// attempt) does not re-inject.
 func (w *World) InjectFaults(fp *FaultPlan) { w.fault = fp }
 
 // FaultEvents returns the number of perturbations injected so far (sleeps
-// performed and delivery orders shuffled), summed over all ranks. Tests use
-// it to assert a scenario actually exercised the fault paths.
+// performed, delivery orders shuffled, crashes and corruptions fired),
+// summed over all ranks. Tests use it to assert a scenario actually
+// exercised the fault paths.
 func (w *World) FaultEvents() int64 { return w.faultEvents.Load() }
 
 // newFaultRand derives rank's deterministic fault RNG.
@@ -80,4 +133,60 @@ func (c *Comm) deliveryOrder(n int) []int {
 	}
 	c.w.faultEvents.Add(1)
 	return c.frand.Perm(n)
+}
+
+// enterCollective advances this rank's collective counters and fires an
+// armed crash when the rank reaches its injection point.
+func (c *Comm) enterCollective(label string, payload bool) {
+	seq := c.collSeq
+	c.collSeq++
+	if payload {
+		c.payloadSeq++
+	}
+	_ = label
+	f := c.w.fault
+	if f == nil || f.Crash == nil {
+		return
+	}
+	cr := f.Crash
+	if cr.Rank != c.rank || cr.Collective != seq {
+		return
+	}
+	if !cr.fired.CompareAndSwap(false, true) {
+		return
+	}
+	c.w.faultEvents.Add(1)
+	panic(rankCrashed{})
+}
+
+// maybeCorrupt applies an armed payload corruption: the chunks are deep
+// copied onto the "wire" and one mantissa bit of the first amplitude is
+// flipped, leaving the sender's buffers (and the already-computed
+// checksums, which cover the true data) untouched.
+func (c *Comm) maybeCorrupt(chunks [][]complex128) [][]complex128 {
+	f := c.w.fault
+	if f == nil || f.Corrupt == nil {
+		return chunks
+	}
+	co := f.Corrupt
+	if co.Rank != c.rank || co.Exchange != c.payloadSeq-1 {
+		return chunks
+	}
+	if !co.fired.CompareAndSwap(false, true) {
+		return chunks
+	}
+	c.w.faultEvents.Add(1)
+	wire := make([][]complex128, len(chunks))
+	for i, ch := range chunks {
+		wire[i] = append([]complex128(nil), ch...)
+	}
+	for _, ch := range wire {
+		if len(ch) == 0 {
+			continue
+		}
+		v := ch[0]
+		ch[0] = complex(math.Float64frombits(math.Float64bits(real(v))^1), imag(v))
+		break
+	}
+	return wire
 }

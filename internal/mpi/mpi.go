@@ -9,14 +9,59 @@
 // and are counted faithfully. Wall-clock behaviour of a Cray Aries network
 // is out of scope here; package perfmodel maps the recorded traffic onto a
 // network model for the paper-scale projections.
+//
+// Beyond the happy path, the layer is built to FAIL DETECTABLY — the
+// property checkpoint/restart needs from its transport:
+//
+//   - Payload integrity: with SetVerifyChecksums(true), every collective
+//     carries a CRC32C per posted chunk and receivers verify what they
+//     read; a flipped bit surfaces as an error wrapping ErrCorrupt instead
+//     of silently wrong amplitudes.
+//   - Dead ranks: a rank that vanishes mid-run (FaultPlan.Crash, or a
+//     panic) never leaves the survivors hanging. The scheduler tracks what
+//     every rank is blocked on; the moment all live ranks are provably
+//     stuck waiting for a dead one, the run unwinds with an error wrapping
+//     ErrRankDead.
+//   - Hung ranks: SetDeadline arms a wall-clock bound on the whole Run; on
+//     expiry the run unwinds with an error wrapping ErrStalled that names
+//     the collective each stuck rank was blocked in.
+//
+// Recoverable reports whether an error is one of these detected transport
+// failures — the class dist.Run's checkpoint/restart loop retries.
 package mpi
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Detected-failure classes. Errors returned by Run wrap one (or more) of
+// these; see Recoverable.
+var (
+	// ErrCorrupt marks a payload whose checksum did not verify.
+	ErrCorrupt = errors.New("payload corruption detected")
+	// ErrRankDead marks a rank that vanished mid-run.
+	ErrRankDead = errors.New("rank dead")
+	// ErrStalled marks a run that stopped making progress (deadline
+	// exceeded, or every live rank provably stuck).
+	ErrStalled = errors.New("collective stalled")
+)
+
+// Recoverable reports whether err is a detected transport failure — the
+// class of errors a checkpoint/restart layer can retry, as opposed to a
+// programming error or an engine failure.
+func Recoverable(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrRankDead) || errors.Is(err, ErrStalled)
+}
 
 // Traffic accumulates communication statistics across all ranks.
 type Traffic struct {
@@ -29,15 +74,33 @@ type Traffic struct {
 	Bytes atomic.Int64
 }
 
+// posting is one rank's contribution to an all-to-all board: the chunks it
+// offers plus (when checksums are on) a CRC32C per chunk, computed before
+// the payload hits the "wire" so receivers can audit what arrived.
+type posting struct {
+	chunks [][]complex128
+	sums   []uint32 // nil when checksum verification is off
+}
+
+// pairSlot is the mailbox for one direction of a pairwise exchange.
+type pairSlot struct {
+	data   []complex128
+	sum    uint32
+	hasSum bool
+	full   bool
+}
+
 // World coordinates size ranks.
 type World struct {
 	size    int
-	bar     *barrier
-	board   [][][]complex128 // board[src][dst] chunk posted for an all-to-all
-	pair    [][]chan []complex128
-	pairAck [][]chan struct{}
+	k       *coord
+	board   []posting // board[src] posted for an all-to-all
+	pairBox [][]pairSlot
 	reduce  []float64
 	Traffic Traffic
+
+	verifySums bool
+	deadline   time.Duration
 
 	fault       *FaultPlan // armed by InjectFaults; nil = clean runs
 	faultEvents atomic.Int64
@@ -50,19 +113,13 @@ func NewWorld(size int) *World {
 	}
 	w := &World{
 		size:   size,
-		bar:    newBarrier(size),
-		board:  make([][][]complex128, size),
+		k:      newCoord(size),
+		board:  make([]posting, size),
 		reduce: make([]float64, size),
 	}
-	w.pair = make([][]chan []complex128, size)
-	w.pairAck = make([][]chan struct{}, size)
-	for i := range w.pair {
-		w.pair[i] = make([]chan []complex128, size)
-		w.pairAck[i] = make([]chan struct{}, size)
-		for j := range w.pair[i] {
-			w.pair[i][j] = make(chan []complex128, 1)
-			w.pairAck[i][j] = make(chan struct{}, 1)
-		}
+	w.pairBox = make([][]pairSlot, size)
+	for i := range w.pairBox {
+		w.pairBox[i] = make([]pairSlot, size)
 	}
 	return w
 }
@@ -70,18 +127,38 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// SetVerifyChecksums toggles CRC32C verification of every collective's
+// payload (off by default). Must be set before Run.
+func (w *World) SetVerifyChecksums(on bool) { w.verifySums = on }
+
+// SetDeadline bounds the wall time of each subsequent Run. When exceeded,
+// blocked ranks unwind and Run returns an error wrapping ErrStalled that
+// names the collective each stuck rank was waiting in. Zero disables the
+// deadline. A Run that trips its deadline may leak the goroutines of ranks
+// hung outside the communication layer; the world must not be reused after
+// a deadline failure.
+func (w *World) SetDeadline(d time.Duration) { w.deadline = d }
+
 // Run spawns one goroutine per rank executing fn and waits for all of them.
 // The first panic is re-raised on the caller.
 //
-// A rank that returns an error (or panics) poisons the world's barrier, so
-// ranks blocked inside a collective unwind immediately instead of waiting
-// for a participant that will never arrive — Run reports the failure rather
-// than deadlocking. Poisoned ranks' partial results are discarded along
-// with the world.
+// A rank that returns an error (or panics) poisons the world's
+// coordinator, so ranks blocked inside a collective unwind immediately
+// instead of waiting for a participant that will never arrive — Run
+// reports the failure rather than deadlocking. Poisoned ranks' partial
+// results are discarded along with the world.
+//
+// Failure detection beyond explicit errors:
+//   - a rank that dies silently (FaultPlan.Crash) is detected as soon as
+//     every surviving rank is provably blocked on it (no timer needed);
+//   - SetDeadline adds a wall-clock bound for ranks hung outside the
+//     communication layer.
 func (w *World) Run(fn func(c *Comm) error) error {
-	w.bar.reset()
-	errs := make([]error, w.size)
-	panics := make([]any, w.size)
+	k := w.k
+	k.reset()
+	for i := range w.board {
+		w.board[i] = posting{}
+	}
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
@@ -89,33 +166,346 @@ func (w *World) Run(fn func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					if _, ok := p.(barrierPoisoned); ok {
+					switch v := p.(type) {
+					case poisonUnwind:
 						// Unwound out of a collective after another rank
 						// failed; that rank carries the real error.
-						return
+						k.markDone(rank)
+					case rankCrashed:
+						// Injected silent death: no error, no poison — the
+						// survivors must detect the loss themselves.
+						k.markDead(rank)
+					case collectiveError:
+						k.fail(rank, v.err, nil)
+					default:
+						k.fail(rank, nil, p)
 					}
-					panics[rank] = p
-					w.bar.poison()
+					return
 				}
 			}()
 			if err := fn(&Comm{w: w, rank: rank, frand: w.newFaultRand(rank)}); err != nil {
-				errs[rank] = err
-				w.bar.poison()
+				k.fail(rank, err, nil)
+			} else {
+				k.markDone(rank)
 			}
 		}(r)
 	}
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var expired chan struct{}
+	var watchdog *time.Timer
+	if w.deadline > 0 {
+		expired = make(chan struct{})
+		d := w.deadline
+		watchdog = time.AfterFunc(d, func() {
+			k.poisonDeadline(d)
+			close(expired)
+		})
+	}
+	if expired != nil {
+		select {
+		case <-done:
+		case <-expired:
+			// Ranks hung outside the communication layer cannot be unwound;
+			// report without joining them (their goroutines leak, the world
+			// is dead). Ranks blocked in collectives have been poisoned and
+			// exit on their own.
+		}
+		watchdog.Stop()
+	} else {
+		<-done
+	}
+	return k.result()
+}
+
+// coord is the world's failure-aware synchronization core: one mutex+cond
+// covering the sense barrier, the pairwise-exchange mailboxes, and the
+// per-rank progress accounting that turns a dead rank into a detected
+// deadlock instead of a hang.
+type coord struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+
+	count int // barrier arrivals this generation
+	gen   int
+
+	failed  bool
+	failErr error // first detected stall/crash/deadline failure
+	rankErr error // first explicit rank error (incl. checksum failures)
+	rankPan any   // first rank panic, re-raised by Run
+
+	state []rankState
+	dead  int
+	done  int
+}
+
+type rankStatus int
+
+const (
+	statusRunning rankStatus = iota
+	statusDone
+	statusDead
+)
+
+type waitKind int
+
+const (
+	waitNone waitKind = iota
+	waitBarrier
+	waitSlot
+)
+
+// rankState is one rank's progress record, guarded by coord.mu. A rank
+// counts as "stuck" only if its recorded wait is provably unsatisfiable
+// right now (barrier generation unchanged, or mailbox predicate false) —
+// a rank whose wake-up condition already holds is runnable, so the
+// deadlock check never fires on transient states.
+type rankState struct {
+	status   rankStatus
+	kind     waitKind
+	label    string // collective the rank is blocked in
+	gen      int    // awaited barrier generation (waitBarrier)
+	slot     *pairSlot
+	wantFull bool // awaited mailbox state (waitSlot)
+}
+
+// poisonUnwind unwinds a rank goroutine out of a collective after another
+// rank failed. World.Run recovers it; it never escapes the package.
+type poisonUnwind struct{}
+
+// rankCrashed is the injected silent death of FaultPlan.Crash.
+type rankCrashed struct{}
+
+// collectiveError carries a detected integrity failure out of a collective.
+type collectiveError struct{ err error }
+
+func newCoord(n int) *coord {
+	k := &coord{n: n, state: make([]rankState, n)}
+	k.cond = sync.NewCond(&k.mu)
+	return k
+}
+
+// reset re-arms the coordinator for a new Run on the same world.
+func (k *coord) reset() {
+	k.mu.Lock()
+	k.count, k.gen = 0, 0
+	k.failed = false
+	k.failErr, k.rankErr, k.rankPan = nil, nil, nil
+	for i := range k.state {
+		k.state[i] = rankState{}
+	}
+	k.dead, k.done = 0, 0
+	k.mu.Unlock()
+}
+
+// poison wakes every waiter into a poisonUnwind. Caller holds mu.
+func (k *coord) poisonLocked() {
+	if !k.failed {
+		k.failed = true
+		k.cond.Broadcast()
+	}
+}
+
+// fail records a rank's explicit failure (error or panic) and poisons.
+func (k *coord) fail(rank int, err error, pan any) {
+	k.mu.Lock()
+	if err != nil && k.rankErr == nil {
+		k.rankErr = err
+	}
+	if pan != nil && k.rankPan == nil {
+		k.rankPan = pan
+	}
+	k.setStatus(rank, statusDone)
+	k.poisonLocked()
+	k.mu.Unlock()
+}
+
+func (k *coord) markDone(rank int) {
+	k.mu.Lock()
+	k.setStatus(rank, statusDone)
+	k.maybeStuckLocked()
+	k.mu.Unlock()
+}
+
+func (k *coord) markDead(rank int) {
+	k.mu.Lock()
+	k.setStatus(rank, statusDead)
+	k.maybeStuckLocked()
+	k.mu.Unlock()
+}
+
+func (k *coord) setStatus(rank int, s rankStatus) {
+	if k.state[rank].status != statusRunning {
+		return
+	}
+	k.state[rank].status = s
+	if s == statusDead {
+		k.dead++
+	} else {
+		k.done++
+	}
+}
+
+// poisonDeadline fires from the Run watchdog: every rank still blocked in a
+// collective is reported by name.
+func (k *coord) poisonDeadline(d time.Duration) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.failed || k.done+k.dead == k.n {
+		return
+	}
+	stuck := k.stuckLabelsLocked()
+	detail := "no rank was blocked in a collective (compute overran the deadline)"
+	if len(stuck) > 0 {
+		detail = "stuck in " + strings.Join(stuck, ", ")
+	}
+	k.failErr = fmt.Errorf("mpi: deadline %v exceeded: %s: %w", d, detail, ErrStalled)
+	k.poisonLocked()
+}
+
+// stuckLabelsLocked summarizes which ranks are blocked where.
+func (k *coord) stuckLabelsLocked() []string {
+	byLabel := map[string][]int{}
+	for r := range k.state {
+		st := &k.state[r]
+		if st.status == statusRunning && st.kind != waitNone {
+			byLabel[st.label] = append(byLabel[st.label], r)
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]string, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, fmt.Sprintf("%s (ranks %v)", l, byLabel[l]))
+	}
+	return out
+}
+
+// maybeStuckLocked is the exact deadlock detector: it fires only when every
+// rank is dead, done, or blocked on a condition that cannot currently be
+// satisfied. One runnable rank anywhere vetoes it. Caller holds mu.
+func (k *coord) maybeStuckLocked() {
+	if k.failed {
+		return
+	}
+	stuck := 0
+	for r := range k.state {
+		st := &k.state[r]
+		if st.status != statusRunning {
+			continue
 		}
+		switch st.kind {
+		case waitNone:
+			return // running rank: progress is still possible
+		case waitBarrier:
+			if st.gen != k.gen {
+				return // barrier released; rank will wake
+			}
+		case waitSlot:
+			if st.slot.full == st.wantFull {
+				return // mailbox condition satisfied; rank will wake
+			}
+		}
+		stuck++
+	}
+	if stuck == 0 {
+		return // everyone finished or died; Run reports deaths directly
+	}
+	deadRanks := []int{}
+	for r := range k.state {
+		if k.state[r].status == statusDead {
+			deadRanks = append(deadRanks, r)
+		}
+	}
+	detail := strings.Join(k.stuckLabelsLocked(), ", ")
+	if k.dead > 0 {
+		k.failErr = fmt.Errorf("mpi: ranks %v dead, survivors stuck in %s: %w (%w)",
+			deadRanks, detail, ErrRankDead, ErrStalled)
+	} else {
+		k.failErr = fmt.Errorf("mpi: collective mismatch, all live ranks stuck in %s: %w", detail, ErrStalled)
+	}
+	k.poisonLocked()
+}
+
+// result assembles Run's outcome once the ranks have been joined (or
+// abandoned on deadline).
+func (k *coord) result() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.rankPan != nil {
+		panic(k.rankPan)
+	}
+	if k.rankErr != nil {
+		return k.rankErr
+	}
+	if k.failErr != nil {
+		return k.failErr
+	}
+	if k.dead > 0 {
+		deadRanks := []int{}
+		for r := range k.state {
+			if k.state[r].status == statusDead {
+				deadRanks = append(deadRanks, r)
+			}
+		}
+		return fmt.Errorf("mpi: ranks %v vanished during the run: %w", deadRanks, ErrRankDead)
 	}
 	return nil
+}
+
+// barrierWait blocks rank until every rank has entered the current barrier
+// generation, recording the collective's name for failure reports.
+func (k *coord) barrierWait(rank int, label string) {
+	if k.n == 1 {
+		return
+	}
+	k.mu.Lock()
+	if k.failed {
+		k.mu.Unlock()
+		panic(poisonUnwind{})
+	}
+	gen := k.gen
+	k.count++
+	if k.count == k.n {
+		k.count = 0
+		k.gen++
+		k.cond.Broadcast()
+		k.mu.Unlock()
+		return
+	}
+	k.state[rank].kind, k.state[rank].label, k.state[rank].gen = waitBarrier, label, gen
+	k.maybeStuckLocked()
+	for gen == k.gen && !k.failed {
+		k.cond.Wait()
+	}
+	k.state[rank].kind = waitNone
+	if k.failed {
+		k.mu.Unlock()
+		panic(poisonUnwind{})
+	}
+	k.mu.Unlock()
+}
+
+// slotWait blocks rank until slot.full == wantFull. Caller holds mu; the
+// lock is held on return (unless poisoned, which unwinds).
+func (k *coord) slotWaitLocked(rank int, label string, slot *pairSlot, wantFull bool) {
+	for slot.full != wantFull && !k.failed {
+		k.state[rank].kind, k.state[rank].label = waitSlot, label
+		k.state[rank].slot, k.state[rank].wantFull = slot, wantFull
+		k.maybeStuckLocked()
+		k.cond.Wait()
+		k.state[rank].kind = waitNone
+	}
+	k.state[rank].kind = waitNone
+	if k.failed {
+		k.mu.Unlock()
+		panic(poisonUnwind{})
+	}
 }
 
 // Comm is one rank's handle on the world.
@@ -123,6 +513,10 @@ type Comm struct {
 	w     *World
 	rank  int
 	frand *rand.Rand // per-rank fault RNG, nil when injection is disarmed
+
+	collSeq    int // collective entries on this rank (crash counter)
+	payloadSeq int // payload-carrying collective entries (corruption counter)
+	sumBuf     []byte
 }
 
 // Rank returns this rank's id.
@@ -133,10 +527,70 @@ func (c *Comm) Size() int { return c.w.size }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
+	c.enterCollective("Barrier", false)
 	if f := c.w.fault; f != nil {
 		c.faultDelay(f.BarrierJitter)
 	}
-	c.w.bar.wait()
+	c.w.k.barrierWait(c.rank, "Barrier")
+}
+
+// barrier is the internal form used inside collectives: same wait, labeled
+// with the enclosing collective, not counted as a separate entry.
+func (c *Comm) barrier(label string) {
+	if f := c.w.fault; f != nil {
+		c.faultDelay(f.BarrierJitter)
+	}
+	c.w.k.barrierWait(c.rank, label)
+}
+
+// chunkSum is CRC32C over the little-endian encoding of a chunk.
+func (c *Comm) chunkSum(a []complex128) uint32 {
+	const window = 4096 // amps per staging pass
+	if c.sumBuf == nil {
+		c.sumBuf = make([]byte, window*16)
+	}
+	var crc uint32
+	for off := 0; off < len(a); off += window {
+		n := len(a) - off
+		if n > window {
+			n = window
+		}
+		for i, v := range a[off : off+n] {
+			binary.LittleEndian.PutUint64(c.sumBuf[16*i:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(c.sumBuf[16*i+8:], math.Float64bits(imag(v)))
+		}
+		crc = crc32.Update(crc, castagnoli, c.sumBuf[:n*16])
+	}
+	return crc
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// post assembles this rank's board posting: checksums first (over the true
+// data), then the fault layer's wire corruption, so an injected flip is
+// visible to the receiver's audit exactly like real in-flight corruption.
+func (c *Comm) post(chunks [][]complex128) posting {
+	p := posting{chunks: chunks}
+	if c.w.verifySums {
+		p.sums = make([]uint32, len(chunks))
+		for i, ch := range chunks {
+			p.sums[i] = c.chunkSum(ch)
+		}
+	}
+	p.chunks = c.maybeCorrupt(p.chunks)
+	return p
+}
+
+// verifyChunk audits a received chunk against the sender's posted CRC.
+func (c *Comm) verifyChunk(label string, src int, chunk []complex128, sums []uint32, idx int) {
+	if sums == nil {
+		return
+	}
+	if got := c.chunkSum(chunk); got != sums[idx] {
+		panic(collectiveError{fmt.Errorf(
+			"mpi: %s chunk from rank %d failed checksum (got %08x, posted %08x): %w",
+			label, src, got, sums[idx], ErrCorrupt)})
+	}
 }
 
 // Alltoall performs a world all-to-all: send[j] goes to rank j, and recv[i]
@@ -148,31 +602,62 @@ func (c *Comm) Alltoall(send, recv [][]complex128) {
 	if len(send) != w.size || len(recv) != w.size {
 		panic("mpi: Alltoall chunk count must equal world size")
 	}
+	c.enterCollective("Alltoall", true)
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
-	w.board[c.rank] = send
-	c.Barrier()
+	w.board[c.rank] = c.post(send)
+	c.barrier("Alltoall")
 	order := c.deliveryOrder(w.size)
 	for i := 0; i < w.size; i++ {
 		src := i
 		if order != nil {
 			src = order[i]
 		}
-		chunk := w.board[src][c.rank]
+		p := &w.board[src]
+		chunk := p.chunks[c.rank]
 		if len(chunk) != len(recv[src]) {
 			panic("mpi: Alltoall chunk length mismatch")
 		}
+		c.verifyChunk("Alltoall", src, chunk, p.sums, c.rank)
 		copy(recv[src], chunk)
 		if src != c.rank {
 			w.Traffic.Bytes.Add(int64(16 * len(chunk)))
 		}
 	}
-	c.Barrier()
+	c.barrier("Alltoall")
 	if c.rank == 0 {
 		w.Traffic.Steps.Add(1)
 	}
-	c.Barrier()
+	c.barrier("Alltoall")
+}
+
+// groupGeometry resolves the member-index machinery shared by the grouped
+// collectives.
+func (c *Comm) groupGeometry(bitPositions []int) (memberRank func(int) int, me int) {
+	w := c.w
+	var mask int
+	for _, b := range bitPositions {
+		if 1<<b >= w.size {
+			panic(fmt.Sprintf("mpi: bit position %d out of range for %d ranks", b, w.size))
+		}
+		mask |= 1 << b
+	}
+	memberRank = func(j int) int {
+		r := c.rank &^ mask
+		for t, b := range bitPositions {
+			if j&(1<<t) != 0 {
+				r |= 1 << b
+			}
+		}
+		return r
+	}
+	for t, b := range bitPositions {
+		if c.rank&(1<<b) != 0 {
+			me |= 1 << t
+		}
+	}
+	return memberRank, me
 }
 
 // GroupAlltoall performs simultaneous all-to-alls within groups of ranks
@@ -186,33 +671,13 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 	if len(send) != 1<<q || len(recv) != 1<<q {
 		panic("mpi: GroupAlltoall chunk count must be 2^q")
 	}
-	var mask int
-	for _, b := range bitPositions {
-		if 1<<b >= w.size {
-			panic(fmt.Sprintf("mpi: bit position %d out of range for %d ranks", b, w.size))
-		}
-		mask |= 1 << b
-	}
-	memberRank := func(j int) int {
-		r := c.rank &^ mask
-		for t, b := range bitPositions {
-			if j&(1<<t) != 0 {
-				r |= 1 << b
-			}
-		}
-		return r
-	}
-	me := 0
-	for t, b := range bitPositions {
-		if c.rank&(1<<b) != 0 {
-			me |= 1 << t
-		}
-	}
+	memberRank, me := c.groupGeometry(bitPositions)
+	c.enterCollective("GroupAlltoall", true)
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
-	w.board[c.rank] = send
-	c.Barrier()
+	w.board[c.rank] = c.post(send)
+	c.barrier("GroupAlltoall")
 	order := c.deliveryOrder(1 << q)
 	for i := 0; i < 1<<q; i++ {
 		j := i
@@ -220,20 +685,22 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 			j = order[i]
 		}
 		src := memberRank(j)
-		chunk := w.board[src][me]
+		p := &w.board[src]
+		chunk := p.chunks[me]
 		if len(chunk) != len(recv[j]) {
 			panic("mpi: GroupAlltoall chunk length mismatch")
 		}
+		c.verifyChunk("GroupAlltoall", src, chunk, p.sums, me)
 		copy(recv[j], chunk)
 		if src != c.rank {
 			w.Traffic.Bytes.Add(int64(16 * len(chunk)))
 		}
 	}
-	c.Barrier()
+	c.barrier("GroupAlltoall")
 	if c.rank == 0 {
 		w.Traffic.Steps.Add(1)
 	}
-	c.Barrier()
+	c.barrier("GroupAlltoall")
 }
 
 // GroupAlltoallGather is GroupAlltoall with the receive copy replaced by an
@@ -247,83 +714,75 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 // index function) so the caller can tile the gather for cache locality. The
 // mapping is the same for every source because all ranks apply the same
 // local relabeling, so gather is keyed only by the receiver's member index.
+//
+// With checksums on, each receiver audits a source's full posted buffer
+// before gathering from it — the gather output is a permutation of the
+// source bytes, so the source buffer is the only thing a CRC can cover.
 func (c *Comm) GroupAlltoallGather(bitPositions []int, post []complex128, recv [][]complex128, gather func(member int, src, dst []complex128)) {
 	w := c.w
 	q := len(bitPositions)
 	if len(recv) != 1<<q {
 		panic("mpi: GroupAlltoallGather chunk count must be 2^q")
 	}
-	var mask int
-	for _, b := range bitPositions {
-		if 1<<b >= w.size {
-			panic(fmt.Sprintf("mpi: bit position %d out of range for %d ranks", b, w.size))
-		}
-		mask |= 1 << b
-	}
-	memberRank := func(j int) int {
-		r := c.rank &^ mask
-		for t, b := range bitPositions {
-			if j&(1<<t) != 0 {
-				r |= 1 << b
-			}
-		}
-		return r
-	}
-	me := 0
-	for t, b := range bitPositions {
-		if c.rank&(1<<b) != 0 {
-			me |= 1 << t
-		}
-	}
+	memberRank, me := c.groupGeometry(bitPositions)
+	c.enterCollective("GroupAlltoallGather", true)
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
-	w.board[c.rank] = [][]complex128{post}
-	c.Barrier()
+	w.board[c.rank] = c.post([][]complex128{post})
+	c.barrier("GroupAlltoallGather")
 	order := c.deliveryOrder(1 << q)
+	verified := make(map[int]bool, 1<<q)
 	for i := 0; i < 1<<q; i++ {
 		j := i
 		if order != nil {
 			j = order[i]
 		}
 		src := memberRank(j)
-		full := w.board[src][0]
+		p := &w.board[src]
+		full := p.chunks[0]
+		if p.sums != nil && !verified[src] {
+			c.verifyChunk("GroupAlltoallGather", src, full, p.sums, 0)
+			verified[src] = true
+		}
 		dst := recv[j]
 		gather(me, full, dst)
 		if src != c.rank {
 			w.Traffic.Bytes.Add(int64(16 * len(dst)))
 		}
 	}
-	c.Barrier()
+	c.barrier("GroupAlltoallGather")
 	if c.rank == 0 {
 		w.Traffic.Steps.Add(1)
 	}
-	c.Barrier()
+	c.barrier("GroupAlltoallGather")
 }
 
 // AllreduceSum returns the sum of x over all ranks (the final reduction of
 // the entropy calculation, Sec. 4.2.2).
 func (c *Comm) AllreduceSum(x float64) float64 {
+	c.enterCollective("AllreduceSum", false)
 	w := c.w
 	w.reduce[c.rank] = x
-	c.Barrier()
+	c.barrier("AllreduceSum")
 	var s float64
 	for _, v := range w.reduce {
 		s += v
 	}
-	c.Barrier()
+	c.barrier("AllreduceSum")
 	return s
 }
 
 // AllgatherFloat64 returns every rank's contribution, indexed by rank
 // (used to share per-rank probability weights for distributed sampling).
 func (c *Comm) AllgatherFloat64(x float64) []float64 {
+	c.enterCollective("AllgatherFloat64", false)
 	w := c.w
 	w.reduce[c.rank] = x
-	c.Barrier()
+	c.barrier("AllgatherFloat64")
 	out := make([]float64, w.size)
 	copy(out, w.reduce)
-	c.Barrier()
+	c.barrier("AllgatherFloat64")
 	return out
 }
 
@@ -337,19 +796,54 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 		return
 	}
 	w := c.w
+	k := w.k
+	c.enterCollective("PairExchange", true)
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
-	w.pair[c.rank][partner] <- send
-	theirs := <-w.pair[partner][c.rank]
-	if len(theirs) != len(recv) {
+	wire := c.post([][]complex128{send})
+
+	k.mu.Lock()
+	if k.failed {
+		k.mu.Unlock()
+		panic(poisonUnwind{})
+	}
+	mine := &w.pairBox[c.rank][partner]
+	mine.data = wire.chunks[0]
+	if wire.sums != nil {
+		mine.sum, mine.hasSum = wire.sums[0], true
+	} else {
+		mine.sum, mine.hasSum = 0, false
+	}
+	mine.full = true
+	k.cond.Broadcast()
+
+	theirs := &w.pairBox[partner][c.rank]
+	k.slotWaitLocked(c.rank, "PairExchange", theirs, true)
+	data, sum, hasSum := theirs.data, theirs.sum, theirs.hasSum
+	k.mu.Unlock()
+
+	if len(data) != len(recv) {
 		panic("mpi: PairExchange length mismatch")
 	}
-	copy(recv, theirs)
+	if hasSum {
+		if got := c.chunkSum(data); got != sum {
+			panic(collectiveError{fmt.Errorf(
+				"mpi: PairExchange payload from rank %d failed checksum (got %08x, posted %08x): %w",
+				partner, got, sum, ErrCorrupt)})
+		}
+	}
+	copy(recv, data)
 	w.Traffic.Bytes.Add(int64(16 * len(recv)))
-	// Handshake so neither side reuses its send buffer early.
-	w.pairAck[c.rank][partner] <- struct{}{}
-	<-w.pairAck[partner][c.rank]
+
+	k.mu.Lock()
+	theirs.full = false
+	theirs.data = nil
+	k.cond.Broadcast()
+	// Wait for the partner to consume our posting, so neither side reuses
+	// its send buffer early.
+	k.slotWaitLocked(c.rank, "PairExchange", mine, false)
+	k.mu.Unlock()
 	// Step counting is left to the caller: one machine-wide round of
 	// pairwise exchanges is a single communication step regardless of the
 	// number of pairs.
@@ -359,68 +853,3 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 // machine-wide round of pairwise exchanges) whose step structure the
 // primitives cannot see. Call from a single rank.
 func (c *Comm) AddSteps(n int) { c.w.Traffic.Steps.Add(int64(n)) }
-
-// barrier is a reusable sense-counting barrier that can be poisoned: once a
-// rank fails, every current and future wait unwinds via a barrierPoisoned
-// panic instead of blocking on a participant that will never arrive.
-type barrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	count  int
-	gen    int
-	failed bool
-}
-
-// barrierPoisoned unwinds a rank goroutine out of a collective after
-// another rank failed. World.Run recovers it; it never escapes the package.
-type barrierPoisoned struct{}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) wait() {
-	if b.n == 1 {
-		return
-	}
-	b.mu.Lock()
-	if b.failed {
-		b.mu.Unlock()
-		panic(barrierPoisoned{})
-	}
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen && !b.failed {
-			b.cond.Wait()
-		}
-		if b.failed {
-			b.mu.Unlock()
-			panic(barrierPoisoned{})
-		}
-	}
-	b.mu.Unlock()
-}
-
-// poison marks the barrier failed and wakes every waiter.
-func (b *barrier) poison() {
-	b.mu.Lock()
-	b.failed = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}
-
-// reset re-arms the barrier for a new Run on the same world.
-func (b *barrier) reset() {
-	b.mu.Lock()
-	b.count = 0
-	b.failed = false
-	b.mu.Unlock()
-}

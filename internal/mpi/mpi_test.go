@@ -1,8 +1,10 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -235,20 +237,18 @@ func TestRunPropagatesError(t *testing.T) {
 	}
 }
 
-// runWithTimeout runs fn through w.Run and fails the test if Run has not
-// returned within the deadline — the deadlock the barrier poisoning exists
-// to prevent. On the pre-fix code the error-path tests below hang here.
+// runWithTimeout runs fn under the world's own deadline machinery: if the
+// poisoning that these error-path tests exercise ever regresses into a
+// deadlock, Run itself returns an ErrStalled failure instead of hanging the
+// test binary.
 func runWithTimeout(t *testing.T, w *World, fn func(c *Comm) error) error {
 	t.Helper()
-	done := make(chan error, 1)
-	go func() { done <- w.Run(fn) }()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(10 * time.Second):
-		t.Fatal("World.Run deadlocked: ranks still blocked in a collective after a rank failed")
-		return nil
+	w.SetDeadline(10 * time.Second)
+	err := w.Run(fn)
+	if errors.Is(err, ErrStalled) {
+		t.Fatalf("World.Run stalled instead of unwinding: %v", err)
 	}
+	return err
 }
 
 func TestRunErrorUnblocksBarrier(t *testing.T) {
@@ -358,5 +358,238 @@ func TestWorldReusableAfterPoisonedRun(t *testing.T) {
 	}
 	if after.Load() != 4 {
 		t.Errorf("only %d ranks passed the barrier on the reused world", after.Load())
+	}
+}
+
+func TestDeadlineNamesStuckCollective(t *testing.T) {
+	// A rank hung outside the communication layer can only be caught by the
+	// wall clock. The error must say which collective the survivors were
+	// blocked in, so the failure is diagnosable.
+	w := NewWorld(4)
+	w.SetDeadline(100 * time.Millisecond)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(2 * time.Second) // hung in "compute"
+		}
+		c.Barrier()
+		return nil
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if !strings.Contains(err.Error(), "Barrier") {
+		t.Errorf("deadline error does not name the stuck collective: %v", err)
+	}
+	if !Recoverable(err) {
+		t.Errorf("deadline failure should be Recoverable: %v", err)
+	}
+}
+
+func TestCrashDetectedWithoutTimer(t *testing.T) {
+	// A silently dead rank must be detected the moment every survivor is
+	// provably blocked on it — no deadline is set here, so a regression to
+	// timer-based detection (or a hang) fails the test only via the test
+	// binary's own timeout, and a correct implementation returns instantly.
+	w := NewWorld(4)
+	crash := &CrashFault{Rank: 2, Collective: 1}
+	w.InjectFaults(&FaultPlan{Crash: crash})
+	err := w.Run(func(c *Comm) error {
+		c.Barrier()       // collective 0: everyone passes
+		c.AllreduceSum(1) // collective 1: rank 2 dies on entry
+		c.Barrier()       // never reached by anyone
+		return nil
+	})
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("err = %v, want ErrRankDead", err)
+	}
+	if !strings.Contains(err.Error(), "[2]") {
+		t.Errorf("error does not identify the dead rank: %v", err)
+	}
+	if !crash.Fired() {
+		t.Error("crash fault did not report firing")
+	}
+	if got := w.FaultEvents(); got != 1 {
+		t.Errorf("FaultEvents = %d, want 1", got)
+	}
+	if !Recoverable(err) {
+		t.Errorf("rank death should be Recoverable: %v", err)
+	}
+}
+
+func TestCrashFiresAtMostOncePerPlan(t *testing.T) {
+	// The fire-once state lives in the plan, so a restart attempt on a fresh
+	// world sharing the plan replays cleanly past the injection point.
+	plan := &FaultPlan{Crash: &CrashFault{Rank: 0, Collective: 0}}
+	w := NewWorld(2)
+	w.InjectFaults(plan)
+	if err := w.Run(func(c *Comm) error { c.Barrier(); return nil }); !errors.Is(err, ErrRankDead) {
+		t.Fatalf("first run: err = %v, want ErrRankDead", err)
+	}
+	w2 := NewWorld(2)
+	w2.InjectFaults(plan)
+	if err := w2.Run(func(c *Comm) error { c.Barrier(); return nil }); err != nil {
+		t.Fatalf("second run should survive the already-fired fault, got %v", err)
+	}
+}
+
+func TestCrashedRankReportedEvenWithoutDeadlock(t *testing.T) {
+	// If the dead rank was the only one still in a collective, the survivors
+	// finish normally — the death must still be reported, not swallowed.
+	w := NewWorld(4)
+	w.InjectFaults(&FaultPlan{Crash: &CrashFault{Rank: 1, Collective: 0}})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Barrier() // dies on entry; nobody else joins this barrier
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("err = %v, want ErrRankDead", err)
+	}
+}
+
+func TestChecksumDetectsAlltoallCorruption(t *testing.T) {
+	w := NewWorld(4)
+	w.SetVerifyChecksums(true)
+	corrupt := &CorruptFault{Rank: 1, Exchange: 0}
+	w.InjectFaults(&FaultPlan{Corrupt: corrupt})
+	err := w.Run(func(c *Comm) error {
+		send := make([][]complex128, 4)
+		recv := make([][]complex128, 4)
+		for j := range send {
+			send[j] = []complex128{complex(float64(c.Rank()), float64(j))}
+			recv[j] = make([]complex128, 1)
+		}
+		c.Alltoall(send, recv)
+		return nil
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Errorf("error does not name the corrupting sender: %v", err)
+	}
+	if !corrupt.Fired() {
+		t.Error("corrupt fault did not report firing")
+	}
+	if !Recoverable(err) {
+		t.Errorf("detected corruption should be Recoverable: %v", err)
+	}
+}
+
+func TestChecksumDetectsPairExchangeCorruption(t *testing.T) {
+	w := NewWorld(2)
+	w.SetVerifyChecksums(true)
+	w.InjectFaults(&FaultPlan{Corrupt: &CorruptFault{Rank: 0, Exchange: 0}})
+	err := w.Run(func(c *Comm) error {
+		send := []complex128{complex(float64(c.Rank()+1), 0)}
+		recv := make([]complex128, 1)
+		c.PairExchange(c.Rank()^1, send, recv)
+		return nil
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChecksumDetectsGatherCorruption(t *testing.T) {
+	// GroupAlltoallGather audits a source's full posted buffer before
+	// gathering — the fused-permutation path must not bypass verification.
+	w := NewWorld(4)
+	w.SetVerifyChecksums(true)
+	w.InjectFaults(&FaultPlan{Corrupt: &CorruptFault{Rank: 2, Exchange: 0}})
+	err := w.Run(func(c *Comm) error {
+		post := []complex128{complex(float64(c.Rank()), 0), complex(float64(c.Rank()), 1)}
+		recv := [][]complex128{make([]complex128, 1), make([]complex128, 1)}
+		c.GroupAlltoallGather([]int{0}, post, recv, func(member int, src, dst []complex128) {
+			dst[0] = src[member]
+		})
+		return nil
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptionSilentWithoutChecksums(t *testing.T) {
+	// Without verification the flipped bit sails through — that blind spot is
+	// exactly what SetVerifyChecksums closes. The sender's own buffer must
+	// stay intact (the flip lives on a wire copy), modeling in-flight rather
+	// than in-memory corruption.
+	w := NewWorld(2)
+	w.InjectFaults(&FaultPlan{Corrupt: &CorruptFault{Rank: 1, Exchange: 0}})
+	var delivered, sent complex128
+	err := w.Run(func(c *Comm) error {
+		send := make([][]complex128, 2)
+		recv := make([][]complex128, 2)
+		for j := range send {
+			send[j] = []complex128{complex(3.0, 4.0)}
+			recv[j] = make([]complex128, 1)
+		}
+		c.Alltoall(send, recv)
+		if c.Rank() == 0 {
+			delivered = recv[1][0]
+		}
+		if c.Rank() == 1 {
+			sent = send[0][0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("without checksums the corrupted run must complete: %v", err)
+	}
+	if delivered == complex(3.0, 4.0) {
+		t.Error("corruption did not reach the receiver")
+	}
+	if sent != complex(3.0, 4.0) {
+		t.Errorf("sender's own buffer was mutated to %v; corruption must stay on the wire", sent)
+	}
+}
+
+func TestChecksumsCleanRunUnaffected(t *testing.T) {
+	// Verification on, no faults: payloads round-trip exactly and no error
+	// surfaces — checksums are an audit, not a perturbation.
+	const size = 4
+	w := NewWorld(size)
+	w.SetVerifyChecksums(true)
+	err := w.Run(func(c *Comm) error {
+		send := make([][]complex128, size)
+		recv := make([][]complex128, size)
+		for j := range send {
+			send[j] = []complex128{complex(float64(c.Rank()), float64(j))}
+			recv[j] = make([]complex128, 1)
+		}
+		c.Alltoall(send, recv)
+		for src := range recv {
+			if want := complex(float64(src), float64(c.Rank())); recv[src][0] != want {
+				return fmt.Errorf("rank %d: recv[%d] = %v, want %v", c.Rank(), src, recv[src][0], want)
+			}
+		}
+		pr := make([]complex128, 1)
+		c.PairExchange(c.Rank()^1, []complex128{complex(0, float64(c.Rank()))}, pr)
+		if want := complex(0, float64(c.Rank()^1)); pr[0] != want {
+			return fmt.Errorf("rank %d: pair recv %v, want %v", c.Rank(), pr[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverableClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("wrapped: %w", ErrCorrupt), true},
+		{fmt.Errorf("wrapped: %w", ErrRankDead), true},
+		{fmt.Errorf("wrapped: %w", ErrStalled), true},
+		{fmt.Errorf("engine bug"), false},
+		{nil, false},
+	} {
+		if got := Recoverable(tc.err); got != tc.want {
+			t.Errorf("Recoverable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
 	}
 }

@@ -106,7 +106,17 @@ func (v *Vector) readChunk(c int, dst []complex128) error {
 	return binary.Read(v.f, binary.LittleEndian, dst)
 }
 
+// writeHook, when non-nil, can fail a chunk write before it reaches the
+// file — the test failpoint proving every constructor error path removes
+// its temp file instead of leaking it.
+var writeHook func(chunk int) error
+
 func (v *Vector) writeChunk(c int, src []complex128) error {
+	if writeHook != nil {
+		if err := writeHook(c); err != nil {
+			return err
+		}
+	}
 	off := int64(c) << uint(v.L) * ampBytes
 	if _, err := v.f.Seek(off, io.SeekStart); err != nil {
 		return err
@@ -246,10 +256,19 @@ func (v *Vector) swap(op *schedule.Op) error {
 
 // Run executes a full plan built with LocalQubits = L.
 func (v *Vector) Run(plan *schedule.Plan) error {
+	return v.RunFrom(plan, 0)
+}
+
+// RunFrom executes only the ops with Stage ≥ startStage — the resume path
+// after Restore loaded a snapshot taken at that stage boundary.
+func (v *Vector) RunFrom(plan *schedule.Plan, startStage int) error {
 	if plan.N != v.N || plan.L != v.L {
 		return fmt.Errorf("oocvec: plan (n=%d l=%d) does not match vector (n=%d l=%d)", plan.N, plan.L, v.N, v.L)
 	}
 	for i := range plan.Ops {
+		if plan.Ops[i].Stage < startStage {
+			continue
+		}
 		if err := v.ApplyOp(&plan.Ops[i]); err != nil {
 			return err
 		}

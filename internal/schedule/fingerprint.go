@@ -1,0 +1,65 @@
+package schedule
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a hex SHA-256 digest over everything that determines a
+// plan's execution semantics: dimensions, the full op stream (kinds, matrix
+// and diagonal entries bit-for-bit, positions, permutations, stage indices)
+// and the qubit→bit-location maps. Checkpoint manifests record it so a
+// resumed run can prove the snapshot on disk belongs to the plan it is about
+// to continue — two circuits (or two schedules of the same circuit) never
+// share a fingerprint, so a stale checkpoint directory can never be replayed
+// into the wrong run.
+//
+// The digest walks the struct directly rather than hashing a gob encoding:
+// gob serializes Stats.ClusterSizes (a map) in nondeterministic order, and
+// the fingerprint must be stable across processes.
+func (p *Plan) Fingerprint() string {
+	h := sha256.New()
+	var scratch [8]byte
+	wi := func(x int) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(x)))
+		h.Write(scratch[:])
+	}
+	wf := func(x float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(x))
+		h.Write(scratch[:])
+	}
+	wc := func(x complex128) { wf(real(x)); wf(imag(x)) }
+	wis := func(xs []int) {
+		wi(len(xs))
+		for _, x := range xs {
+			wi(x)
+		}
+	}
+
+	h.Write([]byte("qusim-plan-fp-v1"))
+	wi(p.N)
+	wi(p.L)
+	wis(p.InitialPos)
+	wis(p.FinalPos)
+	wi(len(p.Ops))
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		wi(int(op.Kind))
+		wi(op.Stage)
+		wis(op.Positions)
+		wis(op.Perm)
+		wis(op.LocalPos)
+		wis(op.GlobalPos)
+		wi(len(op.Matrix.Data))
+		for _, a := range op.Matrix.Data {
+			wc(a)
+		}
+		wi(len(op.Diag))
+		for _, a := range op.Diag {
+			wc(a)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -112,16 +112,35 @@ type Plan struct {
 	Stats Stats
 }
 
+// Stages returns the number of swap-delimited stages in the plan (stage
+// indices are contiguous from 0).
+func (p *Plan) Stages() int {
+	if len(p.Ops) == 0 {
+		return 0
+	}
+	return p.Ops[len(p.Ops)-1].Stage + 1
+}
+
 // Run executes the plan on a full-size single-node state vector (bit
 // locations ≥ L are ordinary bits of the index). The state must already be
 // arranged with qubit q at location InitialPos[q]; for a fresh |0…0⟩ or
 // uniform state any arrangement is equivalent.
 func (p *Plan) Run(v *statevec.Vector) error {
+	return p.RunFrom(v, 0)
+}
+
+// RunFrom executes only the ops with Stage ≥ startStage — the resume path
+// of a checkpointed run, where v was restored from a snapshot taken at the
+// stage-startStage boundary.
+func (p *Plan) RunFrom(v *statevec.Vector, startStage int) error {
 	if v.N != p.N {
 		return fmt.Errorf("schedule: plan is for %d qubits, state has %d", p.N, v.N)
 	}
 	for i := range p.Ops {
 		op := &p.Ops[i]
+		if op.Stage < startStage {
+			continue
+		}
 		switch op.Kind {
 		case OpCluster:
 			v.ApplyDense(op.Matrix, op.Positions...)

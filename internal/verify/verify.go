@@ -19,6 +19,10 @@
 //     adversity of mpi.FaultPlan (delayed posts, out-of-order delivery,
 //     barrier jitter) and demand bit-identical agreement — validating the
 //     communication layer off the happy path.
+//   - The recovery sweep (recovery.go) kills a rank at every collective
+//     entry and corrupts every payload exchange of a checkpointed
+//     distributed run, then demands that restart-from-snapshot ends
+//     bitwise identical to the uninterrupted run.
 //
 // cmd/qverify exposes the whole harness for CI and soak runs.
 package verify
@@ -94,11 +98,14 @@ type Report struct {
 
 	FaultScenarios int   // fault-injected backend pairs exercised
 	FaultEvents    int64 // perturbations injected across all scenarios
+
+	Recovery *RecoveryReport // crash/corruption checkpoint-recovery sweep
 }
 
 // Failed reports whether any layer found a violation.
 func (r *Report) Failed() bool {
-	return r.Differential.Failed() || r.Faults.Failed() || len(r.MetamorphicFailed) > 0
+	return r.Differential.Failed() || r.Faults.Failed() ||
+		len(r.MetamorphicFailed) > 0 || r.Recovery.Failed()
 }
 
 // Matrix returns the default backend matrix compared against the naive
@@ -206,6 +213,14 @@ func Run(opts Options) (*Report, error) {
 	logf("%s", strings.TrimRight(faultEngine.Summary(), "\n"))
 	logf("injected %d fault events", rep.FaultEvents)
 
+	// Phase 4: checkpoint recovery. A distributed run is crashed at every
+	// collective entry (all stage boundaries) and corrupted at every payload
+	// exchange; each run must restart from its snapshots and finish bitwise
+	// identical to the clean run.
+	logf("phase 4: checkpoint recovery sweep")
+	rep.Recovery = CheckRecovery(opts, 4, logf)
+	rep.FaultEvents += rep.Recovery.FaultEvents
+
 	return rep, nil
 }
 
@@ -221,6 +236,13 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "fault injection: %d scenarios, %d perturbations\n",
 		r.FaultScenarios, r.FaultEvents)
 	b.WriteString(r.Faults.Summary())
+	if r.Recovery != nil {
+		fmt.Fprintf(&b, "recovery: %d crash + %d corruption points, %d restarts, %d snapshot resumes\n",
+			r.Recovery.CrashPoints, r.Recovery.CorruptPoints, r.Recovery.Restarts, r.Recovery.Restored)
+		for _, f := range r.Recovery.Failures {
+			fmt.Fprintf(&b, "  FAILED %s\n", f)
+		}
+	}
 	divs := append(append([]Divergence(nil), r.Differential.Divergences...), r.Faults.Divergences...)
 	if len(divs) == 0 {
 		b.WriteString("RESULT: all execution paths agree\n")

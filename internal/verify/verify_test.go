@@ -26,6 +26,23 @@ func TestHarnessCleanRun(t *testing.T) {
 	if rep.FaultScenarios < 1 {
 		t.Error("no fault scenarios ran")
 	}
+	rec := rep.Recovery
+	if rec == nil {
+		t.Fatal("no recovery sweep ran")
+	}
+	if rec.CrashPoints == 0 || rec.CorruptPoints == 0 {
+		t.Errorf("recovery sweep exercised %d crash and %d corruption points", rec.CrashPoints, rec.CorruptPoints)
+	}
+	if rec.Restarts < rec.CrashPoints+rec.CorruptPoints {
+		t.Errorf("every injected fault should force a restart: %d restarts for %d points",
+			rec.Restarts, rec.CrashPoints+rec.CorruptPoints)
+	}
+	if rec.Restored == 0 {
+		t.Error("no recovery attempt ever resumed from a snapshot")
+	}
+	if rec.FaultEvents == 0 {
+		t.Error("recovery sweep injected no fault events")
+	}
 }
 
 func TestMatrixCoversRequiredPairs(t *testing.T) {
