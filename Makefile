@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build test race verify fuzz bench bench-permute bench-ckpt
+.PHONY: build test race verify fuzz fuzz-smoke bench bench-smoke \
+	bench-permute bench-ckpt bench-telemetry
 
+# Compile every package and link all six commands into bin/, so a broken
+# main package fails the build even though `go build ./...` discards
+# command binaries.
 build:
 	$(GO) build ./...
+	$(GO) build -o bin/ ./cmd/...
 
 # Tier-1: what CI runs on every change.
 test:
@@ -11,22 +16,35 @@ test:
 	$(GO) test ./...
 
 # Tier-1 with the race detector — required before merging anything that
-# touches internal/par, internal/mpi or internal/dist.
+# touches internal/par, internal/mpi, internal/dist or internal/telemetry.
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 # Differential + metamorphic verification across every backend pair,
 # plus MPI fault-injection scenarios (see DESIGN.md §6).
-verify:
+verify: build
 	$(GO) run ./cmd/qverify -quick
 
 # Longer fuzz burst for the scheduler equivalence oracle.
 fuzz:
 	$(GO) test ./internal/schedule -fuzz FuzzScheduleEquivalence -fuzztime 60s
 
+# CI's 10-second burst over every fuzz target (one -fuzz pattern per
+# go test invocation is a toolchain limit).
+fuzz-smoke:
+	$(GO) test ./internal/schedule -fuzz FuzzScheduleEquivalence -fuzztime 10s
+	$(GO) test ./internal/ckpt -fuzz FuzzShardDecode -fuzztime 10s
+	$(GO) test ./internal/ckpt -fuzz FuzzManifestDecode -fuzztime 10s
+	$(GO) test ./internal/kernels -fuzz FuzzBitPermutation -fuzztime 10s
+
 bench:
 	$(GO) test -bench=. -benchmem
+
+# CI's parse gate: every benchmark must run one iteration and produce
+# output benchjson -strict accepts.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson -strict > /dev/null
 
 # Permutation-pipeline perf baseline: runs the single-pass permutation and
 # swap-fusion benchmarks and records the results (with derived speedups
@@ -42,3 +60,10 @@ bench-permute:
 # BENCH_ckpt.json.
 bench-ckpt:
 	$(GO) test -run '^$$' -bench 'BenchmarkCheckpoint' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_ckpt.json
+
+# Telemetry overhead baseline: the same distributed run with telemetry
+# disabled and enabled; the derived enabled-vs-disabled ratio recorded in
+# BENCH_telemetry.json is the disabled-path overhead bound (the "enabled"
+# speedup must stay ≥ 0.98, i.e. ≤ 2% overhead, per DESIGN.md §9).
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_telemetry.json

@@ -20,6 +20,7 @@ import (
 	"qusim/internal/perfmodel"
 	"qusim/internal/schedule"
 	"qusim/internal/statevec"
+	"qusim/internal/telemetry"
 )
 
 const benchState = 20 // 2^20 amplitudes = 16 MiB
@@ -456,6 +457,48 @@ func BenchmarkCheckpoint(b *testing.B) {
 			}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead records the telemetry cost baseline
+// (BENCH_telemetry.json via make bench-telemetry): the same distributed
+// 20-qubit supremacy run with telemetry disabled (the nil-check no-op path
+// every production run pays) and fully armed (spans + metrics across dist,
+// mpi, par and ckpt). The disabled path must stay within 2% of the
+// pre-instrumentation cost; the recorded enabled/disabled pair documents
+// both numbers.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const n = benchState
+	c := benchSupremacy(n, 25)
+	plan, err := schedule.Build(c, schedule.DefaultOptions(n-2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, tel *telemetry.Telemetry) {
+		if _, err := dist.Run(plan, dist.Options{
+			Ranks: 4, Init: dist.InitUniform, Telemetry: tel,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		b.SetBytes(int64(16 << n))
+		for i := 0; i < b.N; i++ {
+			run(b, telemetry.Disabled)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.Cleanup(func() {
+			par.SetTelemetry(telemetry.Disabled)
+			ckpt.SetTelemetry(telemetry.Disabled)
+		})
+		b.SetBytes(int64(16 << n))
+		for i := 0; i < b.N; i++ {
+			tel := telemetry.New()
+			par.SetTelemetry(tel)
+			ckpt.SetTelemetry(tel)
+			run(b, tel)
 		}
 	})
 }

@@ -7,11 +7,16 @@
 // baseline/optimized pairs the repo's benchmarks use: a ".../singlepass"
 // leaf is compared against its ".../swapchain" sibling, ".../fused" against
 // ".../separate".
+//
+// With -strict the command exits nonzero when a Benchmark line fails to
+// parse or when no benchmarks were parsed at all, so CI catches silently
+// broken benchmark output instead of archiving an empty document.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -52,10 +57,14 @@ var pairs = map[string]string{
 	"singlepass":   "swapchain",
 	"fused":        "separate",
 	"checkpointed": "plain",
+	"enabled":      "disabled",
 }
 
 func main() {
+	strict := flag.Bool("strict", false, "exit nonzero on unparsable Benchmark lines or empty input")
+	flag.Parse()
 	doc := document{Benchmarks: []benchmark{}}
+	var badLines int
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -70,14 +79,32 @@ func main() {
 		case strings.HasPrefix(line, "cpu:"):
 			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
+			if len(strings.Fields(line)) == 1 {
+				// A lone name line: go test prints the name first and moves
+				// the metrics to a new line when the benchmark writes output.
+				continue
+			}
 			if b, ok := parseBenchLine(line); ok {
 				doc.Benchmarks = mergeBenchmark(doc.Benchmarks, b)
+			} else {
+				badLines++
+				fmt.Fprintf(os.Stderr, "benchjson: unparsable benchmark line: %q\n", line)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
+	}
+	if *strict {
+		if badLines > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d unparsable Benchmark line(s)\n", badLines)
+			os.Exit(1)
+		}
+		if len(doc.Benchmarks) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmarks parsed")
+			os.Exit(1)
+		}
 	}
 	doc.Speedups = deriveSpeedups(doc.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)

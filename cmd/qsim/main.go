@@ -9,6 +9,7 @@
 //	qsim -file circ.txt -ranks 4 -baseline    # per-gate reference scheme
 //	qsim -qubits 24 -ranks 8 -checkpoint-dir ck          # snapshot at stage boundaries
 //	qsim -qubits 24 -ranks 8 -checkpoint-dir ck -resume  # continue after a crash
+//	qsim -qubits 20 -ranks 4 -trace out.json -metrics    # per-rank trace + metrics dump
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"qusim/internal/kernels"
 	"qusim/internal/par"
 	"qusim/internal/schedule"
+	"qusim/internal/telemetry"
 )
 
 func main() {
@@ -47,10 +49,23 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 1, "snapshot every N completed stages")
 		resume    = flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint-dir")
 		commDL    = flag.Duration("comm-deadline", 0, "abort a run whose collectives stall longer than this (0 = rely on exact dead-rank detection)")
+
+		traceFile = flag.String("trace", "", "write per-rank Chrome trace-event JSON to this file (open in chrome://tracing)")
+		metrics   = flag.Bool("metrics", false, "print the telemetry metrics dump after the run")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		par.SetWorkers(*workers)
+	}
+
+	// -trace / -metrics arm the telemetry layer across every subsystem; the
+	// pool and checkpoint hooks are process-global, the engine hook rides in
+	// dist.Options.
+	tel := telemetry.Disabled
+	if *traceFile != "" || *metrics {
+		tel = telemetry.New()
+		par.SetTelemetry(tel)
+		ckpt.SetTelemetry(tel)
 	}
 
 	circ, err := buildCircuit(*kind, *qubits, *depth, *seed, *file)
@@ -73,11 +88,13 @@ func main() {
 	if *baseline {
 		res, err := dist.RunBaseline(circ, dist.BaselineOptions{
 			Ranks: *ranks, Init: dist.InitUniform, Specialize2Q: true, Specialize1Q: *spec1q,
+			Telemetry: tel,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		report(circ, res, nil)
+		flushTelemetry(tel, *traceFile, *metrics)
 		return
 	}
 
@@ -110,6 +127,7 @@ func main() {
 		Ranks: *ranks, Init: dist.InitUniform,
 		SampleShots: *shots, SampleSeed: *seed, Profile: *profile,
 		Resume: *resume, CommDeadline: *commDL,
+		Telemetry: tel,
 	}
 	if *ckptDir != "" {
 		opts.Checkpoint = &ckpt.Policy{Dir: *ckptDir, EveryStages: *ckptEvery}
@@ -141,6 +159,35 @@ func main() {
 				break
 			}
 			fmt.Printf("  |%0*b⟩\n", circ.N, b)
+		}
+	}
+	flushTelemetry(tel, *traceFile, *metrics)
+}
+
+// flushTelemetry writes the trace file and/or prints the metrics dump once
+// the run (scheduled or baseline) has completed.
+func flushTelemetry(tel *telemetry.Telemetry, traceFile string, metrics bool) {
+	if !tel.Enabled() {
+		return
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:   %d spans -> %s (open in chrome://tracing)\n", tel.SpanCount(), traceFile)
+	}
+	if metrics {
+		fmt.Println("metrics:")
+		if err := tel.WriteMetrics(os.Stdout); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Version is the on-disk format version. Readers reject any other value.
@@ -174,6 +175,7 @@ type ShardWriter struct {
 	got    int // amplitudes written so far
 	buf    []byte
 	closed bool
+	t0     time.Time // creation time, for write-throughput telemetry
 }
 
 // NewShardWriter creates the temp file and writes the header. amps is the
@@ -194,6 +196,7 @@ func NewShardWriter(dir string, meta Meta, rank, amps int) (*ShardWriter, error)
 		f: f, bw: bufio.NewWriterSize(f, 1<<16),
 		dir: dir, final: final, want: amps,
 		buf: make([]byte, 1<<16),
+		t0:  time.Now(),
 	}
 	hdr, err := json.Marshal(shardHeader{Version: Version, Meta: meta, Rank: rank, Amps: amps})
 	if err != nil {
@@ -280,6 +283,7 @@ func (sw *ShardWriter) Close() (ShardInfo, error) {
 		return ShardInfo{}, err
 	}
 	syncDir(sw.dir)
+	telWriteDone(sw.t0, sw.want)
 	return ShardInfo{Rank: rankFromName(sw.final), File: sw.final, Amps: sw.want, Checksum: sum}, nil
 }
 
@@ -325,6 +329,7 @@ type ShardReader struct {
 	info ShardInfo
 	left int // amplitudes not yet read
 	buf  []byte
+	t0   time.Time // open time, for read-throughput telemetry
 }
 
 // OpenShard opens rank's shard of the manifest's checkpoint and validates
@@ -341,6 +346,7 @@ func OpenShard(dir string, m *Manifest, rank int) (*ShardReader, error) {
 	sr := &ShardReader{
 		f: f, br: bufio.NewReaderSize(f, 1<<16),
 		info: info, left: info.Amps, buf: make([]byte, 1<<16),
+		t0: time.Now(),
 	}
 	var pre [12]byte
 	if err := sr.read(pre[:]); err != nil {
@@ -440,6 +446,7 @@ func (sr *ShardReader) Close() error {
 	if _, err := sr.br.ReadByte(); err == nil {
 		return fmt.Errorf("%w: trailing garbage after shard trailer", ErrInvalid)
 	}
+	telReadDone(sr.t0, sr.info.Amps)
 	return nil
 }
 
@@ -487,6 +494,7 @@ func VerifyShard(dir string, m *Manifest, rank int) error {
 // shards are durable, then prunes checkpoints older than keep. shards must
 // be ordered by rank and complete.
 func Commit(dir string, meta Meta, shards []ShardInfo, keep int) (*Manifest, error) {
+	t0 := time.Now()
 	if len(shards) != meta.Ranks {
 		return nil, fmt.Errorf("ckpt: commit with %d shards, want %d", len(shards), meta.Ranks)
 	}
@@ -533,6 +541,7 @@ func Commit(dir string, meta Meta, shards []ShardInfo, keep int) (*Manifest, err
 		keep = 2
 	}
 	prune(dir, keep)
+	telCommitDone(t0)
 	return m, nil
 }
 

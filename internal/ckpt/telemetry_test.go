@@ -1,0 +1,54 @@
+package ckpt
+
+import (
+	"testing"
+
+	"qusim/internal/telemetry"
+)
+
+// TestTelemetryShardIO asserts the process-global hook records shard
+// write/read throughput and manifest commits, and that disarming stops the
+// counting.
+func TestTelemetryShardIO(t *testing.T) {
+	tel := telemetry.New()
+	SetTelemetry(tel)
+	t.Cleanup(func() { SetTelemetry(nil) })
+
+	dir := t.TempDir()
+	m := writeCheckpoint(t, dir, 1)
+	amps := make([]complex128, 1<<m.L)
+	for r := 0; r < m.Ranks; r++ {
+		if err := ReadShard(dir, m, r, amps); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantBytes := int64(m.Ranks) * int64(len(amps)) * 16
+	if got := tel.Counter("ckpt.shard_writes").Value(); got != int64(m.Ranks) {
+		t.Errorf("shard_writes = %d, want %d", got, m.Ranks)
+	}
+	if got := tel.Counter("ckpt.shard_write_bytes").Value(); got != wantBytes {
+		t.Errorf("shard_write_bytes = %d, want %d", got, wantBytes)
+	}
+	if got := tel.Counter("ckpt.shard_reads").Value(); got != int64(m.Ranks) {
+		t.Errorf("shard_reads = %d, want %d", got, m.Ranks)
+	}
+	if got := tel.Counter("ckpt.shard_read_bytes").Value(); got != wantBytes {
+		t.Errorf("shard_read_bytes = %d, want %d", got, wantBytes)
+	}
+	if got := tel.Counter("ckpt.commits").Value(); got != 1 {
+		t.Errorf("commits = %d, want 1", got)
+	}
+	for _, metric := range []string{"ckpt.shard_write_ns", "ckpt.shard_read_ns", "ckpt.commit_ns"} {
+		if tel.Histogram(metric).Count() == 0 {
+			t.Errorf("%s has no observations", metric)
+		}
+	}
+
+	// Disarmed, further I/O must not count.
+	SetTelemetry(telemetry.Disabled)
+	writeCheckpoint(t, dir, 2)
+	if got := tel.Counter("ckpt.shard_writes").Value(); got != int64(m.Ranks) {
+		t.Errorf("shard_writes moved to %d after disarm", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"qusim/internal/mpi"
 	"qusim/internal/schedule"
 	"qusim/internal/statevec"
+	"qusim/internal/telemetry"
 )
 
 // BaselineOptions configures RunBaseline.
@@ -26,6 +27,9 @@ type BaselineOptions struct {
 	// Faults arms deterministic fault injection in the MPI layer (see
 	// dist.Options.Faults); it exercises the pairwise-exchange path here.
 	Faults *mpi.FaultPlan
+	// Telemetry arms per-rank collective spans and latency histograms in
+	// the MPI layer (the per-gate scheme has no stage structure to trace).
+	Telemetry *telemetry.Telemetry
 }
 
 // RunBaseline executes the circuit gate by gate with the fixed layout
@@ -54,6 +58,7 @@ func RunBaseline(c *circuit.Circuit, opts BaselineOptions) (*Result, error) {
 	if opts.Faults != nil {
 		w.InjectFaults(opts.Faults)
 	}
+	w.SetTelemetry(opts.Telemetry)
 	var mu sync.Mutex
 
 	specialized := func(gt *circuit.Gate) bool {

@@ -32,6 +32,7 @@ import (
 	"qusim/internal/mpi"
 	"qusim/internal/schedule"
 	"qusim/internal/statevec"
+	"qusim/internal/telemetry"
 )
 
 // InitState selects the initial state of a run.
@@ -131,6 +132,15 @@ type Options struct {
 	// VerifyChecksums forces CRC verification of collective payloads even
 	// without a checkpoint policy.
 	VerifyChecksums bool
+
+	// Telemetry, when enabled, records per-rank trace timelines (stage and
+	// op spans with qubit-set and fused-cluster annotations, checkpoint and
+	// restore lifecycles) and feeds the metrics registry; the simulated MPI
+	// layer inherits it for collective spans and latency histograms. Leave
+	// nil (or telemetry.Disabled) for zero-overhead runs. When Profile is
+	// also set, Result.Profile is derived from the same clock readings that
+	// time the spans, so trace and profile cannot disagree.
+	Telemetry *telemetry.Telemetry
 }
 
 // ProfileEntry aggregates wall time for one op kind (on the slowest rank).
@@ -235,6 +245,7 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 	if opts.Faults != nil {
 		w.InjectFaults(opts.Faults)
 	}
+	w.SetTelemetry(opts.Telemetry)
 	w.SetVerifyChecksums(opts.VerifyChecksums || ck != nil)
 	if opts.CommDeadline > 0 {
 		w.SetDeadline(opts.CommDeadline)
@@ -252,11 +263,21 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 	}
 
 	err := w.Run(func(c *mpi.Comm) error {
+		// Engine timeline: pid = rank, tid 0 (the comm layer records on
+		// tid 1 of the same pid). Restart attempts merge onto one timeline.
+		sc := opts.Telemetry.Scope(c.Rank(), 0, fmt.Sprintf("rank %d", c.Rank()), "engine")
+		attemptT0 := sc.Now()
+
 		local := make([]complex128, localLen)
 		scratch := make([]complex128, localLen)
 		if man != nil {
+			t0 := sc.Now()
 			if err := ckpt.ReadShard(ck.Dir, man, c.Rank(), local); err != nil {
 				return fmt.Errorf("dist: restoring rank %d from stage-%d snapshot: %w", c.Rank(), man.NextStage, err)
+			}
+			if sc != nil {
+				sc.Complete("ckpt", "restore", t0, time.Since(t0),
+					telemetry.A("stage", man.NextStage), telemetry.A("amps", localLen))
 			}
 		} else {
 			switch opts.Init {
@@ -281,6 +302,9 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 			if op.Stage < startStage {
 				continue // already captured by the restored snapshot
 			}
+			// One clock pair per op feeds everything downstream — the comm
+			// accounting, the profile breakdown and the trace span — so the
+			// three views of "where did the time go" cannot disagree.
 			t0 := time.Now()
 			switch op.Kind {
 			case schedule.OpCluster:
@@ -297,20 +321,31 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 				local, scratch = scratch, local
 			case schedule.OpSwap:
 				local, scratch = swapGlobalLocal(c, op, local, scratch, l)
-				commTime += time.Since(t0)
 			default:
 				return fmt.Errorf("dist: unknown op kind %v", op.Kind)
 			}
+			d := time.Since(t0)
+			if op.Kind == schedule.OpSwap {
+				commTime += d
+			}
 			if opts.Profile {
-				profDur[op.Kind] += time.Since(t0)
+				profDur[op.Kind] += d
 				profOps[op.Kind]++
+			}
+			if sc != nil {
+				sc.Complete("stage", op.Kind.String(), t0, d, opArgs(op)...)
 			}
 			// Stage boundary: snapshot the state the remaining stages start
 			// from. The end of the final stage is skipped — there is nothing
 			// left to resume into.
 			if every > 0 && i+1 < len(plan.Ops) && plan.Ops[i+1].Stage != op.Stage && (op.Stage+1)%every == 0 {
+				ct0 := sc.Now()
 				if err := writeCheckpoint(c, out, meta, ck, local, op.Stage+1); err != nil {
 					return err
+				}
+				if sc != nil {
+					sc.Complete("ckpt", "checkpoint", ct0, time.Since(ct0),
+						telemetry.A("next_stage", op.Stage+1), telemetry.A("amps", localLen))
 				}
 			}
 		}
@@ -330,11 +365,23 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 		norm := c.AllreduceSum(localNorm)
 		ent = c.AllreduceSum(ent)
 		commTime += time.Since(t0)
+		if sc != nil {
+			sc.Complete("dist", "reduce", t0, time.Since(t0))
+		}
 		var samples []int
 		if opts.SampleShots > 0 {
+			st0 := sc.Now()
 			samples = sampleLocal(c, plan, local, localNorm, l, opts, &commTime)
+			if sc != nil {
+				sc.Complete("dist", "sample", st0, time.Since(st0),
+					telemetry.A("shots", opts.SampleShots))
+			}
 		}
 		elapsed := time.Since(start)
+		if sc != nil {
+			sc.Complete("dist", "attempt", attemptT0, time.Since(attemptT0),
+				telemetry.A("start_stage", startStage))
+		}
 
 		out.mu.Lock()
 		out.norm = norm
@@ -473,6 +520,32 @@ func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm
 		out[s] = plan.LogicalIndex(c.Rank()<<l | idx)
 	}
 	return out
+}
+
+// opArgs builds the trace annotations for one plan op: the stage index
+// plus the qubit-set / fused-cluster details that make a timeline readable
+// without the plan at hand. Only called when tracing is enabled.
+func opArgs(op *schedule.Op) []telemetry.Arg {
+	args := []telemetry.Arg{telemetry.A("stage", op.Stage)}
+	switch op.Kind {
+	case schedule.OpCluster:
+		args = append(args,
+			telemetry.A("k", len(op.Positions)),
+			telemetry.A("pos", op.Positions),
+			telemetry.A("gates", op.GateCount))
+	case schedule.OpDiagonal:
+		args = append(args,
+			telemetry.A("pos", op.Positions),
+			telemetry.A("gates", op.GateCount))
+	case schedule.OpLocalPerm:
+		args = append(args, telemetry.A("width", len(op.Perm)))
+	case schedule.OpSwap:
+		args = append(args,
+			telemetry.A("local", op.LocalPos),
+			telemetry.A("global", op.GlobalPos),
+			telemetry.A("fused_perm", op.Perm != nil))
+	}
+	return args
 }
 
 // applyDiagonal executes a diagonal op whose positions may include global

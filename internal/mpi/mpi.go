@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qusim/internal/telemetry"
 )
 
 // Detected-failure classes. Errors returned by Run wrap one (or more) of
@@ -104,6 +106,8 @@ type World struct {
 
 	fault       *FaultPlan // armed by InjectFaults; nil = clean runs
 	faultEvents atomic.Int64
+
+	tel *worldTel // armed by SetTelemetry; nil = no instrumentation
 }
 
 // NewWorld creates a world of the given size (ranks are 0…size−1).
@@ -183,7 +187,7 @@ func (w *World) Run(fn func(c *Comm) error) error {
 					return
 				}
 			}()
-			if err := fn(&Comm{w: w, rank: rank, frand: w.newFaultRand(rank)}); err != nil {
+			if err := fn(&Comm{w: w, rank: rank, frand: w.newFaultRand(rank), tel: w.tel, scope: w.commScope(rank)}); err != nil {
 				k.fail(rank, err, nil)
 			} else {
 				k.markDone(rank)
@@ -198,7 +202,16 @@ func (w *World) Run(fn func(c *Comm) error) error {
 	if w.deadline > 0 {
 		expired = make(chan struct{})
 		d := w.deadline
+		tel := w.tel
+		if tel != nil {
+			tel.watchArmed.Inc()
+			tel.worldScope.Instant("mpi", "watchdog.arm", telemetry.A("deadline_ms", d.Milliseconds()))
+		}
 		watchdog = time.AfterFunc(d, func() {
+			if tel != nil {
+				tel.watchFired.Inc()
+				tel.worldScope.Instant("mpi", "watchdog.expire")
+			}
 			k.poisonDeadline(d)
 			close(expired)
 		})
@@ -213,10 +226,22 @@ func (w *World) Run(fn func(c *Comm) error) error {
 			// exit on their own.
 		}
 		watchdog.Stop()
+		if w.tel != nil {
+			w.tel.worldScope.Instant("mpi", "watchdog.disarm")
+		}
 	} else {
 		<-done
 	}
-	return k.result()
+	err := k.result()
+	if w.tel != nil && err != nil {
+		if errors.Is(err, ErrRankDead) {
+			w.tel.deadRank.Inc()
+		}
+		if errors.Is(err, ErrStalled) {
+			w.tel.stallDetect.Inc()
+		}
+	}
+	return err
 }
 
 // coord is the world's failure-aware synchronization core: one mutex+cond
@@ -514,6 +539,9 @@ type Comm struct {
 	rank  int
 	frand *rand.Rand // per-rank fault RNG, nil when injection is disarmed
 
+	tel   *worldTel        // world telemetry handles, nil when disarmed
+	scope *telemetry.Scope // this rank's comm timeline, nil when disarmed
+
 	collSeq    int // collective entries on this rank (crash counter)
 	payloadSeq int // payload-carrying collective entries (corruption counter)
 	sumBuf     []byte
@@ -528,10 +556,12 @@ func (c *Comm) Size() int { return c.w.size }
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
 	c.enterCollective("Barrier", false)
+	t0 := c.collStart()
 	if f := c.w.fault; f != nil {
 		c.faultDelay(f.BarrierJitter)
 	}
 	c.w.k.barrierWait(c.rank, "Barrier")
+	c.collEnd("Barrier", t0)
 }
 
 // barrier is the internal form used inside collectives: same wait, labeled
@@ -587,9 +617,15 @@ func (c *Comm) verifyChunk(label string, src int, chunk []complex128, sums []uin
 		return
 	}
 	if got := c.chunkSum(chunk); got != sums[idx] {
+		if c.tel != nil {
+			c.tel.sumFailed.Inc()
+		}
 		panic(collectiveError{fmt.Errorf(
 			"mpi: %s chunk from rank %d failed checksum (got %08x, posted %08x): %w",
 			label, src, got, sums[idx], ErrCorrupt)})
+	}
+	if c.tel != nil {
+		c.tel.verified.Inc()
 	}
 }
 
@@ -603,6 +639,7 @@ func (c *Comm) Alltoall(send, recv [][]complex128) {
 		panic("mpi: Alltoall chunk count must equal world size")
 	}
 	c.enterCollective("Alltoall", true)
+	t0 := c.collStart()
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
@@ -622,14 +659,15 @@ func (c *Comm) Alltoall(send, recv [][]complex128) {
 		c.verifyChunk("Alltoall", src, chunk, p.sums, c.rank)
 		copy(recv[src], chunk)
 		if src != c.rank {
-			w.Traffic.Bytes.Add(int64(16 * len(chunk)))
+			c.countBytes(int64(16 * len(chunk)))
 		}
 	}
 	c.barrier("Alltoall")
 	if c.rank == 0 {
-		w.Traffic.Steps.Add(1)
+		c.countSteps(1)
 	}
 	c.barrier("Alltoall")
+	c.collEnd("Alltoall", t0)
 }
 
 // groupGeometry resolves the member-index machinery shared by the grouped
@@ -673,6 +711,7 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 	}
 	memberRank, me := c.groupGeometry(bitPositions)
 	c.enterCollective("GroupAlltoall", true)
+	t0 := c.collStart()
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
@@ -693,14 +732,15 @@ func (c *Comm) GroupAlltoall(bitPositions []int, send, recv [][]complex128) {
 		c.verifyChunk("GroupAlltoall", src, chunk, p.sums, me)
 		copy(recv[j], chunk)
 		if src != c.rank {
-			w.Traffic.Bytes.Add(int64(16 * len(chunk)))
+			c.countBytes(int64(16 * len(chunk)))
 		}
 	}
 	c.barrier("GroupAlltoall")
 	if c.rank == 0 {
-		w.Traffic.Steps.Add(1)
+		c.countSteps(1)
 	}
 	c.barrier("GroupAlltoall")
+	c.collEnd("GroupAlltoall", t0)
 }
 
 // GroupAlltoallGather is GroupAlltoall with the receive copy replaced by an
@@ -726,6 +766,7 @@ func (c *Comm) GroupAlltoallGather(bitPositions []int, post []complex128, recv [
 	}
 	memberRank, me := c.groupGeometry(bitPositions)
 	c.enterCollective("GroupAlltoallGather", true)
+	t0 := c.collStart()
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
@@ -748,20 +789,22 @@ func (c *Comm) GroupAlltoallGather(bitPositions []int, post []complex128, recv [
 		dst := recv[j]
 		gather(me, full, dst)
 		if src != c.rank {
-			w.Traffic.Bytes.Add(int64(16 * len(dst)))
+			c.countBytes(int64(16 * len(dst)))
 		}
 	}
 	c.barrier("GroupAlltoallGather")
 	if c.rank == 0 {
-		w.Traffic.Steps.Add(1)
+		c.countSteps(1)
 	}
 	c.barrier("GroupAlltoallGather")
+	c.collEnd("GroupAlltoallGather", t0)
 }
 
 // AllreduceSum returns the sum of x over all ranks (the final reduction of
 // the entropy calculation, Sec. 4.2.2).
 func (c *Comm) AllreduceSum(x float64) float64 {
 	c.enterCollective("AllreduceSum", false)
+	t0 := c.collStart()
 	w := c.w
 	w.reduce[c.rank] = x
 	c.barrier("AllreduceSum")
@@ -770,6 +813,7 @@ func (c *Comm) AllreduceSum(x float64) float64 {
 		s += v
 	}
 	c.barrier("AllreduceSum")
+	c.collEnd("AllreduceSum", t0)
 	return s
 }
 
@@ -777,12 +821,14 @@ func (c *Comm) AllreduceSum(x float64) float64 {
 // (used to share per-rank probability weights for distributed sampling).
 func (c *Comm) AllgatherFloat64(x float64) []float64 {
 	c.enterCollective("AllgatherFloat64", false)
+	t0 := c.collStart()
 	w := c.w
 	w.reduce[c.rank] = x
 	c.barrier("AllgatherFloat64")
 	out := make([]float64, w.size)
 	copy(out, w.reduce)
 	c.barrier("AllgatherFloat64")
+	c.collEnd("AllgatherFloat64", t0)
 	return out
 }
 
@@ -798,6 +844,7 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 	w := c.w
 	k := w.k
 	c.enterCollective("PairExchange", true)
+	t0 := c.collStart()
 	if f := w.fault; f != nil {
 		c.faultDelay(f.PostDelay)
 	}
@@ -828,13 +875,19 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 	}
 	if hasSum {
 		if got := c.chunkSum(data); got != sum {
+			if c.tel != nil {
+				c.tel.sumFailed.Inc()
+			}
 			panic(collectiveError{fmt.Errorf(
 				"mpi: PairExchange payload from rank %d failed checksum (got %08x, posted %08x): %w",
 				partner, got, sum, ErrCorrupt)})
 		}
+		if c.tel != nil {
+			c.tel.verified.Inc()
+		}
 	}
 	copy(recv, data)
-	w.Traffic.Bytes.Add(int64(16 * len(recv)))
+	c.countBytes(int64(16 * len(recv)))
 
 	k.mu.Lock()
 	theirs.full = false
@@ -844,6 +897,7 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 	// its send buffer early.
 	k.slotWaitLocked(c.rank, "PairExchange", mine, false)
 	k.mu.Unlock()
+	c.collEnd("PairExchange", t0)
 	// Step counting is left to the caller: one machine-wide round of
 	// pairwise exchanges is a single communication step regardless of the
 	// number of pairs.
@@ -852,4 +906,4 @@ func (c *Comm) PairExchange(partner int, send, recv []complex128) {
 // AddSteps lets engines record communication steps for operations (like a
 // machine-wide round of pairwise exchanges) whose step structure the
 // primitives cannot see. Call from a single rank.
-func (c *Comm) AddSteps(n int) { c.w.Traffic.Steps.Add(int64(n)) }
+func (c *Comm) AddSteps(n int) { c.countSteps(int64(n)) }

@@ -9,15 +9,68 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"qusim/internal/telemetry"
 )
 
 var workers atomic.Int64
 
 func init() {
 	workers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// tel is the pool's telemetry sink. The pool is process-global (workers
+// outlive any one run), so the hook is too: one atomic pointer read per
+// chunk when disarmed. Armed, each pool worker records a span per chunk on
+// its own timeline (pid telemetry.PoolPID, tid = worker id) plus busy/idle
+// histograms, and callers count the chunks they ran themselves.
+var tel atomic.Pointer[telemetry.Telemetry]
+
+// SetTelemetry arms (or, with nil / telemetry.Disabled, disarms) pool
+// instrumentation. Safe to call at any time; workers pick up the change at
+// their next chunk.
+func SetTelemetry(t *telemetry.Telemetry) {
+	if !t.Enabled() {
+		tel.Store(nil)
+		return
+	}
+	t.Gauge("par.workers").Set(int64(Workers()))
+	t.Gauge("par.pool_size").SetMax(int64(poolPeek()))
+	tel.Store(t)
+}
+
+// workerTel is one pool worker's cached handles, refreshed only when the
+// armed telemetry instance changes.
+type workerTel struct {
+	cur      *telemetry.Telemetry
+	scope    *telemetry.Scope
+	chunkNs  *telemetry.Histogram
+	idleNs   *telemetry.Histogram
+	chunks   *telemetry.Counter
+	idleFrom time.Time
+}
+
+// refresh re-resolves the handles if the armed instance changed, returning
+// whether instrumentation is currently on.
+func (wt *workerTel) refresh(id int) bool {
+	t := tel.Load()
+	if t != wt.cur {
+		wt.cur = t
+		wt.scope, wt.chunkNs, wt.idleNs, wt.chunks = nil, nil, nil, nil
+		wt.idleFrom = time.Time{}
+		if t != nil {
+			wt.scope = t.Scope(telemetry.PoolPID, id, "par worker pool", fmt.Sprintf("worker %d", id))
+			wt.chunkNs = t.Histogram("par.chunk_ns")
+			wt.idleNs = t.Histogram("par.worker_idle_ns")
+			wt.chunks = t.Counter("par.chunks")
+		}
+	}
+	return wt.cur != nil
 }
 
 // SetWorkers sets the number of parallel workers used by For. n < 1 resets
@@ -58,14 +111,43 @@ func ensurePool(n int) {
 	}
 	poolMu.Lock()
 	for poolSize < n {
-		go func() {
-			for t := range taskq {
-				runTask(t)
-			}
-		}()
+		go worker(poolSize)
 		poolSize++
 	}
+	size := poolSize
 	poolMu.Unlock()
+	if t := tel.Load(); t != nil {
+		t.Gauge("par.pool_size").SetMax(int64(size))
+	}
+}
+
+// worker is one pool goroutine: it drains the queue for the life of the
+// process, recording occupancy when telemetry is armed — a "chunk" span
+// per task on its own timeline (the gaps are idle time, also summarized in
+// the par.worker_idle_ns histogram).
+func worker(id int) {
+	var wt workerTel
+	for t := range taskq {
+		if !wt.refresh(id) {
+			runTask(t)
+			continue
+		}
+		t0 := time.Now()
+		if !wt.idleFrom.IsZero() {
+			wt.idleNs.Observe(int64(t0.Sub(wt.idleFrom)))
+		}
+		// Record before signalling completion, so a caller returning from
+		// For observes the chunk already counted.
+		t.f(t.slot, t.lo, t.hi)
+		end := time.Now()
+		wt.chunkNs.Observe(int64(end.Sub(t0)))
+		wt.chunks.Inc()
+		wt.scope.Complete("par", "chunk", t0, end.Sub(t0), telemetry.A("n", t.hi-t.lo))
+		wt.idleFrom = end
+		if t.pending.Add(-1) == 0 {
+			close(t.done)
+		}
+	}
 }
 
 func poolPeek() int {
@@ -126,6 +208,9 @@ func dispatch(n, w int, f func(slot, lo, hi int)) {
 		default:
 			// Queue full (heavily nested or very wide fan-out): run the
 			// chunk on the caller rather than block.
+			if tt := tel.Load(); tt != nil {
+				tt.Counter("par.chunks_inline").Inc()
+			}
 			runTask(t)
 		}
 		slot++
@@ -134,6 +219,11 @@ func dispatch(n, w int, f func(slot, lo, hi int)) {
 	for {
 		select {
 		case t := <-taskq:
+			// The caller steals queued work while waiting for its own
+			// chunks — count it so occupancy numbers add up.
+			if tt := tel.Load(); tt != nil {
+				tt.Counter("par.steals").Inc()
+			}
 			runTask(t)
 		case <-done:
 			return

@@ -1,0 +1,60 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"qusim/internal/telemetry"
+)
+
+// TestTelemetryPoolOccupancy asserts that armed pool instrumentation counts
+// chunks (worker-run, caller-stolen or inline) that add up to the work
+// actually dispatched, and that disarming stops the counting.
+func TestTelemetryPoolOccupancy(t *testing.T) {
+	prev := SetWorkers(4)
+	t.Cleanup(func() { SetWorkers(prev) })
+
+	tel := telemetry.New()
+	SetTelemetry(tel)
+	t.Cleanup(func() { SetTelemetry(nil) })
+
+	if got := tel.Gauge("par.workers").Value(); got != 4 {
+		t.Fatalf("par.workers gauge = %d, want 4", got)
+	}
+
+	const n = 1 << 12
+	var touched atomic.Int64
+	for round := 0; round < 8; round++ {
+		For(n, 1, func(lo, hi int) { touched.Add(int64(hi - lo)) })
+	}
+	if got := touched.Load(); got != 8*n {
+		t.Fatalf("touched %d elements, want %d", got, 8*n)
+	}
+
+	// The caller always runs its own first chunk uninstrumented; the other
+	// three chunks per round land on pool workers, get stolen by the
+	// draining caller, or run inline on queue overflow. All three paths
+	// count, so the total must be exact.
+	chunks := tel.Counter("par.chunks").Value()
+	steals := tel.Counter("par.steals").Value()
+	inline := tel.Counter("par.chunks_inline").Value()
+	if got := chunks + steals + inline; got != 8*3 {
+		t.Errorf("chunks %d + steals %d + inline %d = %d, want %d",
+			chunks, steals, inline, got, 8*3)
+	}
+	if chunks != tel.Histogram("par.chunk_ns").Count() {
+		t.Errorf("par.chunks = %d but chunk_ns has %d observations",
+			chunks, tel.Histogram("par.chunk_ns").Count())
+	}
+	if tel.Gauge("par.pool_size").Value() < 1 {
+		t.Error("pool size gauge never raised")
+	}
+
+	// Disarmed, further loops must not count.
+	SetTelemetry(telemetry.Disabled)
+	For(n, 1, func(lo, hi int) {})
+	if got := tel.Counter("par.chunks").Value() + tel.Counter("par.steals").Value() +
+		tel.Counter("par.chunks_inline").Value(); got != chunks+steals+inline {
+		t.Errorf("counters moved after disarm: %d, want %d", got, chunks+steals+inline)
+	}
+}

@@ -212,14 +212,14 @@ func TestSearchCDFSkipsZeroWidthBuckets(t *testing.T) {
 		u    float64
 		want int
 	}{
-		{0, 0},      // left edge of the distribution
-		{0.1, 0},    // interior of bucket 0
-		{0.25, 3},   // boundary shared by zero-width buckets 1 and 2
-		{0.5, 3},    // interior of bucket 3
-		{0.75, 5},   // boundary shared by zero-width bucket 4
-		{0.9, 5},    // interior of bucket 5
-		{1.0, 5},    // u == total: trailing zero-width buckets 6, 7
-		{1.5, 5},    // beyond total (floating-point slop on u = rng*total)
+		{0, 0},    // left edge of the distribution
+		{0.1, 0},  // interior of bucket 0
+		{0.25, 3}, // boundary shared by zero-width buckets 1 and 2
+		{0.5, 3},  // interior of bucket 3
+		{0.75, 5}, // boundary shared by zero-width bucket 4
+		{0.9, 5},  // interior of bucket 5
+		{1.0, 5},  // u == total: trailing zero-width buckets 6, 7
+		{1.5, 5},  // beyond total (floating-point slop on u = rng*total)
 	}
 	for _, tc := range cases {
 		if got := SearchCDF(cdf, tc.u); got != tc.want {

@@ -1,0 +1,341 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	tel := New()
+	c := tel.Counter("a")
+	if c == nil || c != tel.Counter("a") {
+		t.Fatal("Counter should return one handle per name")
+	}
+	if tel.Counter("b") == c {
+		t.Fatal("distinct names must get distinct counters")
+	}
+	if tel.Gauge("a") == nil || tel.Gauge("a") != tel.Gauge("a") {
+		t.Fatal("Gauge should return one handle per name")
+	}
+	if tel.Histogram("a") == nil || tel.Histogram("a") != tel.Histogram("a") {
+		t.Fatal("Histogram should return one handle per name")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	tel := New()
+	c := tel.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	g := tel.Gauge("g")
+	g.Set(7)
+	g.Add(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	g.SetMax(5)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(99)
+	if got := g.Value(); got != 99 {
+		t.Fatalf("SetMax(99) = %d, want 99", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := New().Histogram("h")
+	// bucket 0 holds zeros (and clamped negatives); bucket b holds
+	// [2^(b-1), 2^b), whose conservative upper edge is 2^b.
+	h.Observe(0)
+	h.Observe(-5)
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("max of zeros = %d, want 0", got)
+	}
+	if h.Count() != 2 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%d after two zero observations", h.Count(), h.Sum())
+	}
+
+	h2 := New().Histogram("h2")
+	for _, v := range []int64{1, 2, 3, 1000} {
+		h2.Observe(v)
+	}
+	if h2.Count() != 4 || h2.Sum() != 1006 {
+		t.Fatalf("count=%d sum=%d, want 4/1006", h2.Count(), h2.Sum())
+	}
+	// 1000 lands in bucket 10 ([512, 1024)); the upper bound is 1024 —
+	// conservative by at most 2x.
+	if got := h2.Quantile(1); got != 1024 {
+		t.Fatalf("max bound = %d, want 1024", got)
+	}
+	if got := h2.Quantile(0); got != 2 {
+		t.Fatalf("min bound = %d, want 2 (upper edge of [1,2))", got)
+	}
+	// p50 rank = floor(0.5*3) = 1 → second-smallest (2) → bucket [2,4) → 4.
+	if got := h2.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 bound = %d, want 4", got)
+	}
+}
+
+func TestDisabledIsNilSafe(t *testing.T) {
+	tel := Disabled
+	if tel.Enabled() {
+		t.Fatal("Disabled.Enabled() = true")
+	}
+	// Every operation below must silently no-op.
+	tel.Counter("c").Inc()
+	tel.Counter("c").Add(5)
+	tel.Gauge("g").Set(1)
+	tel.Gauge("g").SetMax(2)
+	tel.Histogram("h").Observe(3)
+	tel.Histogram("h").ObserveSince(time.Now())
+	if tel.Counter("c").Value() != 0 || tel.Gauge("g").Value() != 0 || tel.Histogram("h").Count() != 0 {
+		t.Fatal("reads through Disabled must return zero")
+	}
+	sc := tel.Scope(0, 0, "p", "t")
+	if sc != nil {
+		t.Fatal("Disabled.Scope must be nil")
+	}
+	sc.Complete("cat", "name", time.Now(), time.Second)
+	sc.Instant("cat", "name")
+	if !sc.Now().IsZero() {
+		t.Fatal("nil Scope.Now must be the zero time")
+	}
+	if tel.SpanCount() != 0 {
+		t.Fatal("Disabled.SpanCount != 0")
+	}
+
+	var buf bytes.Buffer
+	if err := tel.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "telemetry disabled") {
+		t.Fatalf("disabled metrics dump = %q", buf.String())
+	}
+	buf.Reset()
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("disabled trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("disabled trace = %+v, want empty event list", doc)
+	}
+}
+
+// event mirrors the exported trace_event shape for decoding in tests.
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func decodeTrace(t *testing.T, tel *Telemetry) []event {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteTraceSchema(t *testing.T) {
+	tel := New()
+	sc := tel.Scope(3, 1, "rank 3", "comm")
+	start := time.Now()
+	sc.Complete("mpi", "alltoall", start, 1500*time.Nanosecond, A("bytes", 64), A("stage", 2))
+	sc.Instant("mpi", "watchdog.arm", A("deadline_ms", 100))
+	// A second scope on the same (pid, tid) must merge, not duplicate the
+	// metadata events.
+	sc2 := tel.Scope(3, 1, "rank 3", "comm")
+	sc2.Complete("mpi", "barrier", start, 0)
+
+	evs := decodeTrace(t, tel)
+	var meta, complete, instant []event
+	for _, e := range evs {
+		switch e.Ph {
+		case "M":
+			meta = append(meta, e)
+		case "X":
+			complete = append(complete, e)
+		case "i":
+			instant = append(instant, e)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if len(meta) != 2 {
+		t.Fatalf("metadata events = %d, want 2 (process_name + thread_name, deduped)", len(meta))
+	}
+	names := map[string]string{}
+	for _, e := range meta {
+		if e.Pid != 3 {
+			t.Fatalf("metadata pid = %d, want 3", e.Pid)
+		}
+		names[e.Name] = e.Args["name"].(string)
+	}
+	if names["process_name"] != "rank 3" || names["thread_name"] != "comm" {
+		t.Fatalf("metadata names = %v", names)
+	}
+	if len(complete) != 2 || len(instant) != 1 {
+		t.Fatalf("events: %d complete, %d instant; want 2/1", len(complete), len(instant))
+	}
+	at := complete[0]
+	if at.Name != "alltoall" || at.Cat != "mpi" || at.Pid != 3 || at.Tid != 1 {
+		t.Fatalf("span identity wrong: %+v", at)
+	}
+	if at.Dur == nil || *at.Dur != 1.5 {
+		t.Fatalf("dur = %v µs, want 1.5", at.Dur)
+	}
+	if at.Ts < 0 {
+		t.Fatalf("ts = %f, want ≥ 0 (relative to epoch)", at.Ts)
+	}
+	if at.Args["bytes"].(float64) != 64 || at.Args["stage"].(float64) != 2 {
+		t.Fatalf("args = %v", at.Args)
+	}
+	in := instant[0]
+	if in.S != "t" || in.Dur != nil || in.Name != "watchdog.arm" {
+		t.Fatalf("instant event wrong: %+v", in)
+	}
+}
+
+func TestNegativeDurationClamps(t *testing.T) {
+	tel := New()
+	sc := tel.Scope(0, 0, "p", "t")
+	sc.Complete("c", "n", time.Now(), -time.Second)
+	evs := decodeTrace(t, tel)
+	for _, e := range evs {
+		if e.Ph == "X" && *e.Dur != 0 {
+			t.Fatalf("negative duration exported as %f", *e.Dur)
+		}
+	}
+}
+
+// TestConcurrentSpans hammers one Telemetry from many goroutines — spans on
+// private and shared scopes, metric updates, and exports racing recording —
+// then validates the final trace against the schema. Run under -race this
+// is the package's race-cleanliness proof.
+func TestConcurrentSpans(t *testing.T) {
+	const goroutines = 8
+	const spansEach = 50
+
+	tel := New()
+	shared := tel.Scope(PoolPID, 0, "pool", "shared")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := tel.Scope(g, 0, fmt.Sprintf("rank %d", g), "engine")
+			for i := 0; i < spansEach; i++ {
+				t0 := sc.Now()
+				tel.Counter("test.ops").Inc()
+				tel.Histogram("test.ns").Observe(int64(i))
+				sc.Complete("test", "op", t0, time.Since(t0), A("i", i))
+				shared.Complete("test", "shared-op", t0, 0, A("g", g))
+			}
+		}(g)
+	}
+	// Export concurrently with recording: must be race-free and valid JSON
+	// even if it snapshots a moving target.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			if err := tel.WriteTrace(io.Discard); err != nil {
+				t.Errorf("concurrent WriteTrace: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := tel.Counter("test.ops").Value(); got != goroutines*spansEach {
+		t.Fatalf("test.ops = %d, want %d", got, goroutines*spansEach)
+	}
+	if got := tel.Histogram("test.ns").Count(); got != goroutines*spansEach {
+		t.Fatalf("test.ns count = %d, want %d", got, goroutines*spansEach)
+	}
+	if got := tel.SpanCount(); got != 2*goroutines*spansEach {
+		t.Fatalf("SpanCount = %d, want %d", got, 2*goroutines*spansEach)
+	}
+
+	evs := decodeTrace(t, tel)
+	perPid := map[int]int{}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Dur == nil || e.Ts < 0 || e.Name == "" || e.Cat == "" {
+			t.Fatalf("malformed span: %+v", e)
+		}
+		perPid[e.Pid]++
+	}
+	for g := 0; g < goroutines; g++ {
+		if perPid[g] != spansEach {
+			t.Fatalf("pid %d has %d spans, want %d", g, perPid[g], spansEach)
+		}
+	}
+	if perPid[PoolPID] != goroutines*spansEach {
+		t.Fatalf("shared scope has %d spans, want %d", perPid[PoolPID], goroutines*spansEach)
+	}
+}
+
+func TestMetricsDumpFormat(t *testing.T) {
+	tel := New()
+	tel.Counter("z.last").Add(3)
+	tel.Counter("a.first").Add(1)
+	tel.Gauge("g.x").Set(9)
+	h := tel.Histogram("h.ns")
+	h.Observe(100)
+	h.Observe(300)
+
+	var buf bytes.Buffer
+	if err := tel.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	ia, iz := strings.Index(out, "a.first"), strings.Index(out, "z.last")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("counters missing or unsorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"counter   a.first",
+		"gauge     g.x",
+		"count=2 sum=400 mean=200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Arg is one key/value annotation attached to a span or instant event —
+// the stage index, qubit set, fused-cluster size, … that make a timeline
+// readable. Values must be JSON-encodable.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// A is shorthand for constructing an Arg.
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+// span is one recorded event: a complete slice of a timeline ('X') or an
+// instant marker ('i').
+type span struct {
+	name  string
+	cat   string
+	start time.Time
+	dur   time.Duration
+	ph    byte
+	args  []Arg
+}
+
+// Scope is one trace timeline — (pid, tid) in Chrome trace terms. A scope
+// is typically owned by a single goroutine, but every method is guarded by
+// a private mutex so shared use (e.g. pool-worker slots reached from both
+// a worker and a caller draining the queue) stays race-clean. All methods
+// are nil-safe: a nil *Scope records nothing.
+type Scope struct {
+	t       *Telemetry
+	pid     int
+	tid     int
+	process string
+	thread  string
+
+	mu    sync.Mutex
+	spans []span
+}
+
+// Complete records a finished span: the caller measured [start, start+dur)
+// itself (typically with one time.Now/time.Since pair that also feeds its
+// own accounting, so trace and profile can never disagree). No-op on nil.
+func (s *Scope) Complete(cat, name string, start time.Time, dur time.Duration, args ...Arg) {
+	if s == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	s.mu.Lock()
+	s.spans = append(s.spans, span{name: name, cat: cat, start: start, dur: dur, ph: 'X', args: args})
+	s.mu.Unlock()
+}
+
+// Instant records a zero-duration marker event (watchdog armed, snapshot
+// committed, …). No-op on nil.
+func (s *Scope) Instant(cat, name string, args ...Arg) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.spans = append(s.spans, span{name: name, cat: cat, start: now, ph: 'i', args: args})
+	s.mu.Unlock()
+}
+
+// Now returns the current time when the scope records, the zero time when
+// it is nil — the guard pattern for hot paths that only want to pay for a
+// clock read while tracing:
+//
+//	t0 := sc.Now()
+//	...work...
+//	if !t0.IsZero() { sc.Complete("cat", "name", t0, time.Since(t0)) }
+func (s *Scope) Now() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// traceEvent is the Chrome trace_event JSON shape (see the Trace Event
+// Format spec). ts and dur are microseconds; fractional values preserve
+// sub-microsecond span lengths.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the exported JSON document.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports every recorded span as Chrome trace_event JSON. Call
+// it after the instrumented work has quiesced (ranks joined, pool idle);
+// concurrent recording is race-safe but events recorded after the snapshot
+// is taken are not included. Writing on Disabled emits an empty trace.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	doc := traceDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		scopes := append([]*Scope(nil), t.scopes...)
+		t.mu.Unlock()
+
+		// Metadata: name each process and thread once, deterministically.
+		type key struct{ pid, tid int }
+		procNamed := map[int]bool{}
+		threadNamed := map[key]bool{}
+		sorted := append([]*Scope(nil), scopes...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if sorted[i].pid != sorted[j].pid {
+				return sorted[i].pid < sorted[j].pid
+			}
+			return sorted[i].tid < sorted[j].tid
+		})
+		for _, sc := range sorted {
+			if sc.process != "" && !procNamed[sc.pid] {
+				procNamed[sc.pid] = true
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: "process_name", Ph: "M", Pid: sc.pid, Tid: sc.tid,
+					Args: map[string]any{"name": sc.process},
+				})
+			}
+			if sc.thread != "" && !threadNamed[key{sc.pid, sc.tid}] {
+				threadNamed[key{sc.pid, sc.tid}] = true
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: sc.pid, Tid: sc.tid,
+					Args: map[string]any{"name": sc.thread},
+				})
+			}
+		}
+		for _, sc := range sorted {
+			sc.mu.Lock()
+			spans := append([]span(nil), sc.spans...)
+			sc.mu.Unlock()
+			for _, sp := range spans {
+				ev := traceEvent{
+					Name: sp.name, Cat: sp.cat, Ph: string(sp.ph),
+					Ts:  float64(sp.start.Sub(t.epoch)) / float64(time.Microsecond),
+					Pid: sc.pid, Tid: sc.tid,
+				}
+				if sp.ph == 'X' {
+					d := float64(sp.dur) / float64(time.Microsecond)
+					ev.Dur = &d
+				} else {
+					ev.S = "t"
+				}
+				if len(sp.args) > 0 {
+					ev.Args = make(map[string]any, len(sp.args))
+					for _, a := range sp.args {
+						ev.Args[a.Key] = a.Val
+					}
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("telemetry: encoding trace: %w", err)
+	}
+	return nil
+}
+
+// SpanCount returns the number of events recorded so far across all scopes
+// (0 on Disabled). Tests use it; the hot path never does.
+func (t *Telemetry) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	scopes := append([]*Scope(nil), t.scopes...)
+	t.mu.Unlock()
+	n := 0
+	for _, sc := range scopes {
+		sc.mu.Lock()
+		n += len(sc.spans)
+		sc.mu.Unlock()
+	}
+	return n
+}
