@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AtomicRename enforces the checkpoint layer's durability protocol
+// (DESIGN.md §8): a file becomes part of a snapshot only through the
+// write-temp → fsync → atomic-rename commit helper, so a crash at any
+// moment leaves either the previous checkpoint or ignorable temp files —
+// never a half-written shard or manifest under its final name.
+//
+// In internal/ckpt and every package that imports it, direct calls to
+// os.Create, os.WriteFile and os.Rename are flagged unless the enclosing
+// function is the designated commit helper (marked //qusim:commit-helper
+// in its doc comment). os.CreateTemp is the sanctioned first step of the
+// protocol and stays allowed; writes that are genuinely not durability
+// data (a trace export, a report) are suppressed with
+// //qlint:ignore atomicrename <reason>.
+var AtomicRename = &Analyzer{
+	Name: "atomicrename",
+	Doc: "checkpoint durability files must go through the ckpt write-temp-then-rename commit helper; " +
+		"direct os.Create/os.WriteFile/os.Rename near checkpoint code breaks crash consistency",
+	Run: runAtomicRename,
+}
+
+// atomicRenameBanned are the os entry points that can place bytes under a
+// final name without the temp+fsync+rename ordering.
+var atomicRenameBanned = map[string]string{
+	"Create":    "creates the final file in place (a crash leaves a truncated file under its committed name)",
+	"WriteFile": "writes the final file in place (a crash leaves a partial file under its committed name)",
+	"Rename":    "renames without the fsync ordering of the commit helper (the rename can be durable before the data is)",
+}
+
+func runAtomicRename(pass *Pass) {
+	if !unitImports(pass.Pkg, ckptPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		eachFuncBody(f, func(doc *ast.CommentGroup, name string, body *ast.BlockStmt) {
+			if docHasMarker(doc, "//qusim:commit-helper") {
+				return
+			}
+			walkBody(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+					return true
+				}
+				why, banned := atomicRenameBanned[fn.Name()]
+				if !banned {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"os.%s in checkpoint-adjacent code %s: route durability commits through the //qusim:commit-helper (ckpt's temp-fsync-rename path)",
+					fn.Name(), why)
+				return true
+			})
+		})
+	}
+}

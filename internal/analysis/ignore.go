@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directive is one parsed //qlint:ignore comment.
+type directive struct {
+	file     string
+	line     int    // line the comment sits on (covers this line and the next)
+	funcFrom int    // when set, the directive came from a func doc comment
+	funcTo   int    // and covers the whole declaration
+	analyzer string // analyzer being silenced
+}
+
+// collectDirectives parses every //qlint:ignore comment in the unit. A
+// malformed directive (unknown analyzer, or no reason) yields a diagnostic
+// instead of a suppression — the reason string is the audit trail that
+// makes suppressions reviewable, so it is enforced, not suggested.
+func collectDirectives(u *Unit) ([]directive, []Diagnostic) {
+	known := byName()
+	var dirs []directive
+	var diags []Diagnostic
+	report := func(pos ast.Node, msg string) {
+		p := u.Fset.Position(pos.Pos())
+		diags = append(diags, Diagnostic{Pos: p, Analyzer: "qlint", Message: msg})
+	}
+	for _, f := range u.Files {
+		// Map each function declaration's doc comment to its body range so
+		// a directive on the declaration covers the whole function.
+		type span struct{ from, to int }
+		funcSpan := map[*ast.CommentGroup]span{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				funcSpan[fd.Doc] = span{
+					from: u.Fset.Position(fd.Pos()).Line,
+					to:   u.Fset.Position(fd.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//qlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c, "qlint:ignore needs an analyzer name and a reason")
+					continue
+				}
+				if _, ok := known[fields[0]]; !ok {
+					report(c, "qlint:ignore names unknown analyzer "+fields[0]+" (have "+knownNames()+")")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c, "qlint:ignore "+fields[0]+" needs a reason (why does the invariant not apply here?)")
+					continue
+				}
+				d := directive{
+					file:     u.Fset.Position(c.Pos()).Filename,
+					line:     u.Fset.Position(c.Pos()).Line,
+					analyzer: fields[0],
+				}
+				if sp, ok := funcSpan[cg]; ok {
+					d.funcFrom, d.funcTo = sp.from, sp.to
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// filterSuppressed drops diagnostics covered by a directive: same file,
+// same analyzer, and either on the directive's line, the line right below
+// it, or anywhere in the function the directive's doc comment heads.
+func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 ||
+				(dir.funcTo > 0 && d.Pos.Line >= dir.funcFrom && d.Pos.Line <= dir.funcTo) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilSafeTelemetry enforces the telemetry package's typed-nil contract
+// (DESIGN.md §9): telemetry.Disabled is a typed nil *Telemetry, and every
+// handle obtained through it (Scope, Counter, Gauge, Histogram, Registry)
+// is also nil when disabled. The entire API is safe exactly as long as
+// consumers go through methods — a method call reduces to a nil check; a
+// field access, a dereference, or a value copy panics or splits the
+// contract. Outside internal/telemetry the analyzer therefore flags:
+//
+//   - selecting a field (not a method) of a telemetry handle type;
+//   - dereferencing a telemetry handle pointer (`*tel`);
+//   - constructing handle struct values directly (use telemetry.New);
+//   - comparing against telemetry.Disabled (use Enabled(); a future
+//     enabled-but-different sink would break the identity comparison).
+var NilSafeTelemetry = &Analyzer{
+	Name: "nilsafetelemetry",
+	Doc: "telemetry handles are typed-nil when disabled; only nil-safe method calls may touch them " +
+		"outside internal/telemetry (no field access, dereference, value copy, or Disabled comparison)",
+	Run: runNilSafeTelemetry,
+}
+
+// telemetryHandles are the nil-safe handle types of the contract.
+var telemetryHandles = map[string]bool{
+	"Telemetry": true,
+	"Registry":  true,
+	"Scope":     true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func isTelemetryHandle(t types.Type) bool {
+	pkg, name, ok := namedFrom(t)
+	return ok && pkg == telemetryPath && telemetryHandles[name]
+}
+
+func runNilSafeTelemetry(pass *Pass) {
+	if pass.Pkg.Path() == telemetryPath {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[x]
+				if ok && sel.Kind() == types.FieldVal && isTelemetryHandle(sel.Recv()) {
+					pass.Reportf(x.Sel.Pos(),
+						"direct field access on telemetry handle (%s): use the nil-safe methods — this panics when the handle is telemetry.Disabled (typed nil)",
+						sel.Recv().String())
+				}
+			case *ast.StarExpr:
+				tv, ok := pass.Info.Types[x]
+				if !ok || !tv.IsValue() {
+					return true
+				}
+				if inner, ok := pass.Info.Types[x.X]; ok {
+					if _, isPtr := inner.Type.Underlying().(*types.Pointer); isPtr && isTelemetryHandle(inner.Type) {
+						pass.Reportf(x.Pos(),
+							"dereferencing telemetry handle (%s): panics when the handle is telemetry.Disabled (typed nil); call its nil-safe methods instead",
+							inner.Type.String())
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.Info.Types[x]; ok && isTelemetryHandle(tv.Type) {
+					if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+						pass.Reportf(x.Pos(),
+							"constructing %s by value: the zero value is not usable and value copies break the typed-nil contract; use telemetry.New",
+							tv.Type.String())
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op.String() != "==" && x.Op.String() != "!=" {
+					return true
+				}
+				if isDisabledRef(pass.Info, x.X) || isDisabledRef(pass.Info, x.Y) {
+					pass.Reportf(x.Pos(),
+						"comparing against telemetry.Disabled: use Enabled() — identity comparison breaks if a second disabled sink ever exists and reads as logic, not a nil check")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isDisabledRef reports whether e references telemetry.Disabled.
+func isDisabledRef(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == telemetryPath && v.Name() == "Disabled"
+}

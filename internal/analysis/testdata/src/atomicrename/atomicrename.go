@@ -1,0 +1,54 @@
+// Package atomicrename is the analysistest corpus for the atomicrename
+// analyzer. It imports internal/ckpt, which is what puts the package in
+// scope for the durability rules.
+package atomicrename
+
+import (
+	"os"
+
+	"qusim/internal/ckpt"
+)
+
+// newestPolicy ties the fixture to the checkpoint layer the analyzer
+// guards; the import is what arms the check.
+func newestPolicy(dir string) *ckpt.Policy {
+	return &ckpt.Policy{Dir: dir, EveryStages: 1}
+}
+
+// writeManifestInPlace is the crash-consistency bug the analyzer exists
+// for: bytes land under the committed name without the temp+rename step.
+func writeManifestInPlace(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `atomicrename: os\.WriteFile in checkpoint-adjacent code`
+}
+
+// createFinal opens the final file directly instead of staging a temp.
+func createFinal(path string) (*os.File, error) {
+	return os.Create(path) // want `atomicrename: os\.Create in checkpoint-adjacent code`
+}
+
+// renameOutsideHelper renames without the commit helper's fsync ordering.
+func renameOutsideHelper(tmp, final string) error {
+	return os.Rename(tmp, final) // want `atomicrename: os\.Rename in checkpoint-adjacent code`
+}
+
+// stageTemp is the sanctioned first step of the protocol: os.CreateTemp is
+// never flagged.
+func stageTemp(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "shard-*.tmp")
+}
+
+// commit is this fixture's designated commit point; the marker sanctions
+// the rename inside it.
+//
+//qusim:commit-helper
+func commit(tmp, final string) error {
+	return os.Rename(tmp, final)
+}
+
+// exportReport exercises the function-scoped suppression path for output
+// that is genuinely not durability data.
+//
+//qlint:ignore atomicrename fixture: a human-readable report, not checkpoint durability data
+func exportReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}

@@ -1,0 +1,90 @@
+// Package collectiveorder is the analysistest corpus for the
+// collectiveorder analyzer: rank-conditioned collectives, conditional
+// success returns inside World.Run closures, and the suppression paths.
+package collectiveorder
+
+import (
+	"errors"
+
+	"qusim/internal/mpi"
+)
+
+// rankConditionedBarrier is the PR 2 deadlock class in miniature: rank 0
+// enters the barrier, everyone else never does.
+func rankConditionedBarrier(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collectiveorder: mpi\.Barrier under rank-dependent condition \(line 15\)`
+	}
+}
+
+// taintedCondition guards a collective with a value derived from the rank
+// rather than the rank itself; the taint propagation must still see it.
+func taintedCondition(c *mpi.Comm) float64 {
+	r := c.Rank()
+	group := r >> 1
+	if group == 0 {
+		return c.AllreduceSum(1) // want `collectiveorder: mpi\.AllreduceSum under rank-dependent condition \(line 25\)`
+	}
+	return 0
+}
+
+// rankSwitch covers the switch-statement region: each case is reachable by
+// a subset of ranks only.
+func rankSwitch(c *mpi.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want `collectiveorder: mpi\.Barrier under rank-dependent condition \(line 34\)`
+	}
+}
+
+// earlySuccessReturn deserts the barrier on the empty-rank path: a nil
+// return does not poison the world, so the other ranks block forever.
+func earlySuccessReturn(w *mpi.World, empty bool) error {
+	return w.Run(func(c *mpi.Comm) error {
+		if empty {
+			return nil // want `collectiveorder: conditional .return nil. inside World\.Run closure skips the mpi\.Barrier at line 47`
+		}
+		c.Barrier()
+		return nil
+	})
+}
+
+// earlyErrorReturn is the legitimate counterpart: an error return poisons
+// the world and unblocks every other rank, so it is not flagged.
+func earlyErrorReturn(w *mpi.World, bad bool) error {
+	return w.Run(func(c *mpi.Comm) error {
+		if bad {
+			return errors.New("corrupt local state")
+		}
+		c.Barrier()
+		return nil
+	})
+}
+
+// uniformSum is rank-uniform: every rank reaches both collectives in the
+// same order. Nothing to flag.
+func uniformSum(c *mpi.Comm, local float64) float64 {
+	c.Barrier()
+	return c.AllreduceSum(local)
+}
+
+// suppressedLine exercises the line-scoped suppression path.
+func suppressedLine(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		//qlint:ignore collectiveorder fixture: single-rank world, the branch covers every rank
+		c.Barrier()
+	}
+}
+
+// suppressedFunc exercises the function-scoped suppression path: the
+// directive in this doc comment covers both PairExchange calls.
+//
+//qlint:ignore collectiveorder both arms exchange with the same partner, so the collective sequence is rank-uniform
+func suppressedFunc(c *mpi.Comm, buf, tmp []complex128) {
+	partner := c.Rank() ^ 1
+	if c.Rank()&1 == 0 {
+		c.PairExchange(partner, buf, tmp)
+	} else {
+		c.PairExchange(partner, tmp, buf)
+	}
+}

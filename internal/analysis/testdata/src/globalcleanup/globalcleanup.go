@@ -1,0 +1,5 @@
+// Package globalcleanup is the analysistest corpus for the globalcleanup
+// analyzer. The cases live in the in-package test file: the analyzer only
+// looks at _test.go functions, because that is where an unrestored global
+// leaks into every later test of the binary.
+package globalcleanup

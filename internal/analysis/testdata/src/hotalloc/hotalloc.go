@@ -1,0 +1,122 @@
+// Package hotalloc is the analysistest corpus for the hotalloc analyzer:
+// allocation and boxing inside the loops of //qusim:hot functions.
+package hotalloc
+
+import "qusim/internal/par"
+
+// emit is a named sink with an interface parameter, for the boxing case.
+func emit(v any) {}
+
+// makeInLoop allocates a fresh buffer every iteration.
+//
+//qusim:hot
+func makeInLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		buf := make([]int, 1) // want `hotalloc: make inside a //qusim:hot loop \(makeInLoop\) allocates per iteration`
+		buf[0] = x
+		total += buf[0]
+	}
+	return total
+}
+
+// compositeAppend grows a slice of structs: both the append and the
+// literal are per-iteration allocations.
+//
+//qusim:hot
+func compositeAppend(xs []int) []pair {
+	out := make([]pair, 0, len(xs)) // prologue: outside every loop, allowed
+	for _, x := range xs {
+		out = append(out, pair{x, x}) // want `hotalloc: append inside a //qusim:hot loop \(compositeAppend\)` `hotalloc: composite literal allocates inside a //qusim:hot loop \(compositeAppend\)`
+	}
+	return out
+}
+
+type pair struct{ a, b int }
+
+// boxesArg passes a concrete int where emit expects an interface: one box
+// per iteration.
+//
+//qusim:hot
+func boxesArg(xs []int) {
+	for _, x := range xs {
+		emit(x) // want `hotalloc: passing int to interface parameter of emit boxes inside a //qusim:hot loop \(boxesArg\)`
+	}
+}
+
+// closureInLoop allocates a closure per iteration.
+//
+//qusim:hot
+func closureInLoop(xs []int) []func() int {
+	fns := make([]func() int, 0, len(xs))
+	for i := range xs {
+		fns = append(fns, func() int { return xs[i] }) // want `hotalloc: append inside a //qusim:hot loop \(closureInLoop\)` `hotalloc: function literal allocates a closure inside a //qusim:hot loop \(closureInLoop\)`
+	}
+	return fns
+}
+
+// stringConversion copies the byte slice into a string every iteration.
+//
+//qusim:hot
+func stringConversion(words [][]byte) int {
+	n := 0
+	for _, w := range words {
+		n += len(string(w)) // want `hotalloc: conversion to string copies inside a //qusim:hot loop \(stringConversion\)`
+	}
+	return n
+}
+
+// workerLoops mirrors the real kernels: the sweep loop lives inside a
+// par.For worker closure, and the analyzer must follow it there. The
+// worker's own prologue allocation is outside every loop and allowed.
+//
+//qusim:hot
+func workerLoops(amps []float64) {
+	par.For(len(amps), 1024, func(lo, hi int) {
+		scratch := make([]float64, 4) // worker prologue: once per worker, allowed
+		for i := lo; i < hi; i++ {
+			tmp := append(scratch[:0], amps[i]) // want `hotalloc: append inside a //qusim:hot loop \(workerLoops\)`
+			amps[i] = tmp[0]
+		}
+	})
+}
+
+// coldLoops allocates freely: no //qusim:hot marker, no findings.
+func coldLoops(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// panicPath may build its message in the loop: a panicking iteration is
+// not steady state, so the fmt-style boxing under panic is exempt.
+//
+//qusim:hot
+func panicPath(xs []int) int {
+	total := 0
+	for i, x := range xs {
+		if x < 0 {
+			panic(errorAt(i, x))
+		}
+		total += x
+	}
+	return total
+}
+
+// errorAt boxes its operands — but only on the panic path above.
+func errorAt(i, x any) string { return "negative amplitude count" }
+
+// suppressedFunc exercises the function-scoped suppression path together
+// with the hot marker.
+//
+//qusim:hot
+//qlint:ignore hotalloc fixture: the append is O(bit positions) setup, not the amplitude sweep
+func suppressedFunc(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

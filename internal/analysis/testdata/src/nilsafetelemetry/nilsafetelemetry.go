@@ -1,0 +1,38 @@
+// Package nilsafetelemetry is the analysistest corpus for the
+// nilsafetelemetry analyzer: the typed-nil Disabled contract must only be
+// touched through nil-safe method calls outside internal/telemetry.
+package nilsafetelemetry
+
+import "qusim/internal/telemetry"
+
+// derefHandle copies the telemetry struct through a dereference: panics
+// outright when the handle is telemetry.Disabled.
+func derefHandle(tel *telemetry.Telemetry) telemetry.Telemetry {
+	return *tel // want `nilsafetelemetry: dereferencing telemetry handle`
+}
+
+// valueConstruct builds a handle by value, splitting the typed-nil
+// contract (the zero value is not a working sink).
+func valueConstruct() telemetry.Telemetry {
+	return telemetry.Telemetry{} // want `nilsafetelemetry: constructing qusim/internal/telemetry\.Telemetry by value`
+}
+
+// compareDisabled tests enablement by identity instead of Enabled().
+func compareDisabled(tel *telemetry.Telemetry) bool {
+	return tel == telemetry.Disabled // want `nilsafetelemetry: comparing against telemetry\.Disabled`
+}
+
+// methodCalls is the sanctioned usage: every access is a nil-safe method,
+// nothing to flag even when tel is Disabled.
+func methodCalls(tel *telemetry.Telemetry) bool {
+	sc := tel.Scope(0, 0, "rank 0", "engine")
+	sc.Instant("stage", "begin")
+	tel.Registry().Counter("fixture.calls").Add(1)
+	return tel.Enabled()
+}
+
+// suppressedCompare exercises the line-scoped suppression path.
+func suppressedCompare(tel *telemetry.Telemetry) bool {
+	//qlint:ignore nilsafetelemetry fixture: asserting the Disabled identity is the point of this helper
+	return tel != telemetry.Disabled
+}

@@ -1,0 +1,33 @@
+// Package qlintdirective is the corpus for the directive parser itself:
+// malformed //qlint:ignore comments must surface as "qlint" diagnostics
+// instead of silently suppressing nothing. The expectations live in
+// TestDirectiveDiagnostics (the diagnostics land on the comment lines, so
+// end-of-line want comments cannot express them).
+package qlintdirective
+
+import "qusim/internal/par"
+
+// missingEverything omits both the analyzer name and the reason.
+func missingEverything() {
+	//qlint:ignore
+	par.SetWorkers(1)
+}
+
+// unknownAnalyzer names a check that does not exist.
+func unknownAnalyzer() {
+	//qlint:ignore gofmtcheck some reason
+	par.SetWorkers(1)
+}
+
+// missingReason names a real analyzer but gives no justification; the
+// suppression must not take effect.
+func missingReason() {
+	//qlint:ignore globalcleanup
+	par.SetWorkers(1)
+}
+
+// wellFormed is the control: a correct directive parses without noise.
+func wellFormed() {
+	//qlint:ignore globalcleanup fixture: not a test file, nothing to suppress anyway
+	par.SetWorkers(1)
+}
