@@ -1,0 +1,144 @@
+// Command qlint is the repo's domain linter: a multichecker over the
+// internal/analysis suite that enforces the simulator's concurrency,
+// communication, and durability invariants (DESIGN.md §10).
+//
+// Standalone use (what `make lint` runs):
+//
+//	qlint [-only a,b] [dir | ./...]...
+//
+// Arguments are module-relative package patterns: `./...` (the default)
+// lints every package under the module root, and a directory path lints
+// that one package directory. Diagnostics print one per line as
+//
+//	path:line:col: analyzer: message
+//
+// with paths relative to the module root. Exit status: 0 clean, 1 when
+// diagnostics were reported, 2 on usage or load errors.
+//
+// The binary also speaks the `go vet -vettool` protocol (-V=full, -flags,
+// and a vet .cfg file as the sole argument), so the same checks run under
+// `go vet -vettool=$(pwd)/bin/qlint ./...` with the toolchain's caching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"qusim/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	versionFlag := fs.String("V", "", "print version (go vet protocol)")
+	flagsFlag := fs.Bool("flags", false, "print flag definitions as JSON (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: qlint [-only analyzers] [dir | ./...]...\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *versionFlag != "" {
+		// go vet caches on the tool's reported version; content-stamping is
+		// overkill for an in-repo tool rebuilt by make lint on every run.
+		fmt.Fprintln(stdout, "qlint version qusim-dev")
+		return 0
+	}
+	if *flagsFlag {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+
+	analyzers, err := analysis.Select(splitComma(*only))
+	if err != nil {
+		fmt.Fprintln(stderr, "qlint:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0], analyzers, stderr)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "qlint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "qlint:", err)
+		return 2
+	}
+
+	var units []*analysis.Unit
+	for _, pat := range rest {
+		switch {
+		case pat == "./..." || pat == "...":
+			us, err := loader.LoadPackages()
+			if err != nil {
+				fmt.Fprintln(stderr, "qlint:", err)
+				return 2
+			}
+			units = append(units, us...)
+		default:
+			us, err := loader.LoadDir(pat)
+			if err != nil {
+				fmt.Fprintln(stderr, "qlint:", err)
+				return 2
+			}
+			units = append(units, us...)
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	for _, u := range units {
+		diags = append(diags, analysis.RunUnit(u, analyzers)...)
+	}
+	analysis.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relativize(d, loader.Root()))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "qlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relativize renders a diagnostic with its path relative to root, for
+// stable output regardless of where the checkout lives.
+func relativize(d analysis.Diagnostic, root string) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = filepath.ToSlash(rel)
+	}
+	return d.String()
+}
+
+func splitComma(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

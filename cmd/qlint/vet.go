@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"qusim/internal/analysis"
+)
+
+// vetConfig is the subset of the `go vet` tool-protocol config file the
+// checker needs (the same shape x/tools' unitchecker reads). cmd/go
+// writes one per package and invokes the vettool with its path as the
+// only argument; export data for every import is provided in PackageFile,
+// so no loading beyond this unit is required.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package under the go vet protocol. Exit status
+// follows unitchecker: 0 clean, 2 when diagnostics were reported.
+func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	blob, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "qlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(blob, &cfg); err != nil {
+		fmt.Fprintf(stderr, "qlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The protocol requires the facts file to exist even though qlint's
+	// analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "qlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, "qlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("qlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "qlint:", err)
+		return 1
+	}
+
+	unit := &analysis.Unit{
+		Fset: fset, Dir: cfg.Dir, ImportPath: cfg.ImportPath,
+		Files: files, Pkg: pkg, Info: info,
+	}
+	diags := analysis.RunUnit(unit, analyzers)
+	analysis.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVetToolEndToEnd drives the real `go vet -vettool` path: build the
+// qlint binary, then let the go toolchain invoke it with -V=full, -flags,
+// and per-package .cfg files over two communication-heavy packages. This
+// is the integration check that the unitchecker protocol in vet.go keeps
+// working against the installed toolchain.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "qlint")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building qlint: %v\n%s", err, out)
+	}
+	vet := exec.Command(goBin, "vet", "-vettool="+bin, "./internal/dist", "./internal/verify")
+	vet.Dir = filepath.Join("..", "..")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over clean packages failed: %v\n%s", err, out)
+	}
+}
