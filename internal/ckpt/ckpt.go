@@ -140,6 +140,23 @@ func (p *Policy) Restarts() int {
 	return p.MaxRestarts
 }
 
+// commitTemp is the single commit point of the durability protocol: it
+// atomically renames an already-fsynced temp file to its final name
+// inside dir, then fsyncs the directory so the rename itself survives
+// power loss. Every file that becomes part of a checkpoint — shard or
+// manifest — must go through here (enforced by qlint's atomicrename
+// analyzer); the temp file is removed if the rename fails.
+//
+//qusim:commit-helper
+func commitTemp(dir, tmp, final string) error {
+	if err := os.Rename(tmp, filepath.Join(dir, final)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
 func shardName(stage, rank int) string {
 	return fmt.Sprintf("shard-%06d-r%04d.ckpt", stage, rank)
 }
@@ -278,11 +295,9 @@ func (sw *ShardWriter) Close() (ShardInfo, error) {
 		return ShardInfo{}, err
 	}
 	sw.closed = true
-	if err := os.Rename(tmp, filepath.Join(sw.dir, sw.final)); err != nil {
-		os.Remove(tmp)
+	if err := commitTemp(sw.dir, tmp, sw.final); err != nil {
 		return ShardInfo{}, err
 	}
-	syncDir(sw.dir)
 	telWriteDone(sw.t0, sw.want)
 	return ShardInfo{Rank: rankFromName(sw.final), File: sw.final, Amps: sw.want, Checksum: sum}, nil
 }
@@ -532,11 +547,9 @@ func Commit(dir string, meta Meta, shards []ShardInfo, keep int) (*Manifest, err
 		os.Remove(tmp)
 		return nil, err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName(meta.NextStage))); err != nil {
-		os.Remove(tmp)
+	if err := commitTemp(dir, tmp, manifestName(meta.NextStage)); err != nil {
 		return nil, err
 	}
-	syncDir(dir)
 	if keep < 1 {
 		keep = 2
 	}
