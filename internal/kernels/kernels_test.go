@@ -290,10 +290,10 @@ func TestVariantString(t *testing.T) {
 func TestSetSelectedOverridesTuner(t *testing.T) {
 	old := Selected(2)
 	SetSelected(2, InPlace)
+	t.Cleanup(func() { SetSelected(2, old) })
 	if Selected(2) != InPlace {
 		t.Error("SetSelected did not take effect")
 	}
-	SetSelected(2, old)
 	// Unknown k defaults to Specialized.
 	if Selected(25) != Specialized {
 		t.Errorf("Selected(25) = %v, want specialized default", Selected(25))
