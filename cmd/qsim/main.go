@@ -166,6 +166,8 @@ func main() {
 
 // flushTelemetry writes the trace file and/or prints the metrics dump once
 // the run (scheduled or baseline) has completed.
+//
+//qlint:ignore atomicrename the trace export is observability output, not checkpoint durability data; a torn write costs a trace, not a snapshot
 func flushTelemetry(tel *telemetry.Telemetry, traceFile string, metrics bool) {
 	if !tel.Enabled() {
 		return

@@ -165,6 +165,8 @@ func TestShardWriterLengthEnforced(t *testing.T) {
 
 // corruptFile flips one bit at the given byte offset (from the end if
 // negative).
+//
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func corruptFile(t *testing.T, path string, off int) {
 	t.Helper()
 	blob, err := os.ReadFile(path)
@@ -184,6 +186,7 @@ func corruptFile(t *testing.T, path string, off int) {
 // version-skewed files. Recovery must reject corrupt snapshots, never load
 // them. ---------------------------------------------------------------------
 
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func TestShardDecodeRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	m := writeCheckpoint(t, dir, 2)
@@ -241,6 +244,7 @@ func TestShardDecodeRejectsCorruption(t *testing.T) {
 	restore()
 }
 
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func TestShardDecodeRejectsVersionSkew(t *testing.T) {
 	dir := t.TempDir()
 	m := writeCheckpoint(t, dir, 2)
@@ -268,6 +272,7 @@ func TestShardDecodeRejectsVersionSkew(t *testing.T) {
 	}
 }
 
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func TestManifestDecodeRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	m := writeCheckpoint(t, dir, 5)
@@ -311,6 +316,7 @@ func TestManifestDecodeRejectsCorruption(t *testing.T) {
 	}
 }
 
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func TestManifestRejectsTamperedFields(t *testing.T) {
 	// Field edits that keep valid JSON must still fail the manifest CRC.
 	dir := t.TempDir()

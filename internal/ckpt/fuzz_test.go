@@ -35,6 +35,7 @@ func seedShard(tb testing.TB) (dir string, m *Manifest, blob []byte) {
 	return dir, m, blob
 }
 
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func FuzzShardDecode(f *testing.F) {
 	_, m, blob := seedShard(f)
 	f.Add(blob)
@@ -55,6 +56,7 @@ func FuzzShardDecode(f *testing.F) {
 	})
 }
 
+//qlint:ignore atomicrename deliberately fabricates and corrupts on-disk checkpoint bytes to test that recovery rejects them; durability ordering is the property under attack, not in use
 func FuzzManifestDecode(f *testing.F) {
 	dir, m, _ := seedShard(f)
 	path := filepath.Join(dir, manifestName(m.NextStage))

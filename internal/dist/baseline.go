@@ -168,6 +168,8 @@ func RunBaseline(c *circuit.Circuit, opts BaselineOptions) (*Result, error) {
 // with the two pairwise half-vector exchanges of [19]: the bit-0 partner
 // computes the pairs of the lower half-indices, the bit-1 partner the upper
 // half, and the results are exchanged back.
+//
+//qlint:ignore collectiveorder both arms issue the same two PairExchange calls with the same partner; the rank branch only selects which half travels, so the collective sequence stays rank-uniform
 func applyGlobalDense1Q(cm *mpi.Comm, gt *circuit.Gate, local, scratch []complex128, l int) {
 	m := gt.Matrix()
 	m00, m01, m10, m11 := m.Data[0], m.Data[1], m.Data[2], m.Data[3]

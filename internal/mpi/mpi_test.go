@@ -432,6 +432,10 @@ func TestCrashFiresAtMostOncePerPlan(t *testing.T) {
 	}
 }
 
+// TestCrashedRankReportedEvenWithoutDeadlock deliberately has one rank
+// enter a barrier nobody else joins — the asymmetry under test.
+//
+//qlint:ignore collectiveorder deliberately provokes a rank-asymmetric barrier to test dead-rank reporting
 func TestCrashedRankReportedEvenWithoutDeadlock(t *testing.T) {
 	// If the dead rank was the only one still in a collective, the survivors
 	// finish normally — the death must still be reported, not swallowed.
