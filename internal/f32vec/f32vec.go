@@ -76,6 +76,8 @@ func (v *Vector) ToDouble() *statevec.Vector {
 // Apply applies a gate matrix (given in double precision, converted once)
 // to the qubits at sorted positions qs, using the in-place gather/scatter
 // kernel.
+//
+//qusim:hot
 func (v *Vector) Apply(m gate.Matrix, qs []int) {
 	k := m.K
 	if len(qs) != k {
@@ -134,6 +136,8 @@ func (v *Vector) Apply(m gate.Matrix, qs []int) {
 }
 
 // Norm returns Σ|α|², accumulated in float64 to limit rounding.
+//
+//qusim:hot
 func (v *Vector) Norm() float64 {
 	return par.ReduceFloat64(len(v.Amps), 1<<14, func(lo, hi int) float64 {
 		var s float64
@@ -145,6 +149,8 @@ func (v *Vector) Norm() float64 {
 }
 
 // Entropy returns the Shannon entropy of the output distribution in nats.
+//
+//qusim:hot
 func (v *Vector) Entropy() float64 {
 	return par.ReduceFloat64(len(v.Amps), 1<<14, func(lo, hi int) float64 {
 		var s float64

@@ -13,6 +13,8 @@ import (
 // controlled gate costs a 2^c-th of the full kernel sweep — the same
 // insight behind the CNOT/CZ specializations of Sec. 3.5, generalized to
 // arbitrary controlled unitaries.
+//
+//qusim:hot
 func ApplyControlled(amps []complex128, m []complex128, qs []int, controls []int) {
 	checkArgs(len(amps), m, qs)
 	if len(controls) == 0 {
@@ -68,6 +70,8 @@ func ApplyControlled(amps []complex128, m []complex128, qs []int, controls []int
 // ApplyControlledPhase multiplies amplitudes whose bits at all the given
 // positions are 1 by the phase — the generalized CZ/CPhase/T-family
 // diagonal, executed in one conditional sweep.
+//
+//qusim:hot
 func ApplyControlledPhase(amps []complex128, positions []int, phase complex128) {
 	mask := 0
 	for _, p := range positions {

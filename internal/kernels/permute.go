@@ -158,6 +158,8 @@ const permuteTile = 1 << 15
 // the gathered reads vary the low source bits and every src line fetched is
 // fully read). Without this blocking the gather is latency-bound on random
 // reads instead of bandwidth-bound.
+//
+//qusim:hot
 func PermuteInto(dst, src []complex128, p *BitPermutation) {
 	if len(dst) != len(src) || len(src) != 1<<p.n {
 		panic(fmt.Sprintf("kernels: PermuteInto length mismatch: dst %d, src %d, perm 2^%d", len(dst), len(src), p.n))
@@ -183,6 +185,7 @@ func PermuteInto(dst, src []complex128, p *BitPermutation) {
 	var freePos []int          // bit positions outside the tile set
 	for i := 0; i < n; i++ {
 		if maskA&(1<<i) == 0 {
+			//qlint:ignore hotalloc once-per-call setup over the n bit positions, not the per-amplitude sweep
 			freePos = append(freePos, i)
 		}
 	}
@@ -224,6 +227,8 @@ func PermuteInto(dst, src []complex128, p *BitPermutation) {
 // bits that vary within the chunk (images fixed by base cannot be tiled).
 // The pass runs serially: callers are the per-rank exchange loops, which are
 // already parallel across ranks.
+//
+//qusim:hot
 func PermuteGather(dst, src []complex128, p *BitPermutation, base int) {
 	m := len(dst)
 	if m == 0 || m&(m-1) != 0 {
@@ -257,6 +262,7 @@ func PermuteGather(dst, src []complex128, p *BitPermutation, base int) {
 	var freePos []int
 	for i := 0; i < k; i++ {
 		if maskA&(1<<i) == 0 {
+			//qlint:ignore hotalloc once-per-call setup over the k chunk bits, not the per-amplitude sweep
 			freePos = append(freePos, i)
 		}
 	}
@@ -283,6 +289,8 @@ func PermuteGather(dst, src []complex128, p *BitPermutation, base int) {
 // [lo, hi), with the per-byte table lookups unrolled for the common table
 // counts. xbase is 0 for a whole-state gather; chunk gathers pass the
 // precomputed image of the fixed high bits.
+//
+//qusim:hot
 func gatherRange(dst, src []complex128, inv [][]int, xbase, lo, hi int) {
 	switch len(inv) {
 	case 1:

@@ -8,6 +8,10 @@ import "qusim/internal/par"
 // Split kernel, matching the paper's observation that kernels beyond
 // kmax = 5 stop paying off (Table 1 uses kmax ≤ 5).
 
+// applySpecialized dispatches to the hand-unrolled kernel for k ≤ 5 and
+// to the blocked Split kernel beyond (Table 1 uses kmax ≤ 5).
+//
+//qusim:hot
 func applySpecialized(amps, m []complex128, qs []int) {
 	switch len(qs) {
 	case 0:
@@ -33,6 +37,9 @@ func applySpecialized(amps, m []complex128, qs []int) {
 	}
 }
 
+// apply1 applies a 1-qubit gate: one fused pair update per amplitude pair.
+//
+//qusim:hot
 func apply1(amps, m []complex128, q int) {
 	mask := 1<<q - 1
 	s := 1 << q
@@ -48,6 +55,10 @@ func apply1(amps, m []complex128, q int) {
 	})
 }
 
+// apply2 applies a 2-qubit gate, fully unrolled over the 4 amplitudes of
+// each base index.
+//
+//qusim:hot
 func apply2(amps, m []complex128, q0, q1 int) {
 	mask0 := 1<<q0 - 1
 	mask1 := 1<<q1 - 1
@@ -68,6 +79,10 @@ func apply2(amps, m []complex128, q0, q1 int) {
 	})
 }
 
+// apply3 applies a 3-qubit gate with the 8 gathered amplitudes and outputs
+// in fixed-size stack arrays.
+//
+//qusim:hot
 func apply3(amps, m []complex128, qs []int) {
 	mask0 := 1<<qs[0] - 1
 	mask1 := 1<<qs[1] - 1
@@ -97,6 +112,10 @@ func apply3(amps, m []complex128, qs []int) {
 	})
 }
 
+// apply4 applies a 4-qubit gate with the 16 gathered amplitudes and
+// outputs in fixed-size stack arrays.
+//
+//qusim:hot
 func apply4(amps, m []complex128, qs []int) {
 	mask0 := 1<<qs[0] - 1
 	mask1 := 1<<qs[1] - 1
@@ -131,6 +150,10 @@ func apply4(amps, m []complex128, qs []int) {
 	})
 }
 
+// apply5 applies a 5-qubit gate with the 32 gathered amplitudes and
+// outputs in fixed-size stack arrays.
+//
+//qusim:hot
 func apply5(amps, m []complex128, qs []int) {
 	var masks [5]int
 	for j, q := range qs {
@@ -170,6 +193,8 @@ func apply5(amps, m []complex128, qs []int) {
 // ApplyDiagonal multiplies each amplitude by the diagonal entry selected by
 // the bits of its index at positions qs. This is the no-communication,
 // no-matvec fast path that gate specialization (Sec. 3.5) exploits.
+//
+//qusim:hot
 func ApplyDiagonal(amps []complex128, d []complex128, qs []int) {
 	k := len(qs)
 	if len(d) != 1<<k {
@@ -210,6 +235,8 @@ func ApplyDiagonal(amps []complex128, d []complex128, qs []int) {
 
 // ApplyCZ applies a controlled-Z between bit positions a and b without a
 // matrix: amplitudes with both bits set are negated.
+//
+//qusim:hot
 func ApplyCZ(amps []complex128, a, b int) {
 	mask := 1<<a | 1<<b
 	par.For(len(amps), 4096, func(lo, hi int) {
@@ -223,6 +250,8 @@ func ApplyCZ(amps []complex128, a, b int) {
 
 // Scale multiplies every amplitude by s (global-phase absorption and the
 // conditional global phase of Sec. 3.5).
+//
+//qusim:hot
 func Scale(amps []complex128, s complex128) {
 	par.For(len(amps), 4096, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

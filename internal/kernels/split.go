@@ -24,6 +24,8 @@ func SetSplitBlock(b int) int {
 // (−mI, mI), so the inner update is two multiply-adds per entry — the
 // FMA-friendly form of Eq. (2)–(3) — and columns are processed in blocks of
 // splitBlock so the accumulators stay in registers.
+//
+//qusim:hot
 func applySplit(amps, m []complex128, qs []int) {
 	k := len(qs)
 	dk := 1 << k

@@ -16,6 +16,8 @@ import (
 // SwapBits exchanges the amplitudes so that bit positions a and b of the
 // basis index are swapped — the unitary SWAP gate applied as a pure
 // permutation (no arithmetic).
+//
+//qusim:hot
 func (v *Vector) SwapBits(a, b int) {
 	if a == b {
 		return
