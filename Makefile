@@ -1,7 +1,13 @@
 GO ?= go
 
-.PHONY: build test race verify fuzz fuzz-smoke bench bench-smoke \
-	bench-permute bench-ckpt bench-telemetry
+# Pinned versions of the external linters the lint job runs. Pinned, not
+# @latest: a new upstream release must not be able to break CI before a
+# human has looked at it. Bump deliberately, in a PR of its own.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test race verify lint lint-tools fuzz fuzz-smoke bench \
+	bench-smoke bench-permute bench-ckpt bench-telemetry
 
 # Compile every package and link all six commands into bin/, so a broken
 # main package fails the build even though `go build ./...` discards
@@ -23,8 +29,33 @@ race:
 
 # Differential + metamorphic verification across every backend pair,
 # plus MPI fault-injection scenarios (see DESIGN.md §6).
-verify: build
+verify: build lint
 	$(GO) run ./cmd/qverify -quick
+
+# Domain lint (DESIGN.md §10): build qlint and run all five analyzers over
+# every package, then the pinned external linters. staticcheck/govulncheck
+# are skipped with a notice when not installed (they need the network to
+# install, which the offline dev loop may not have); `make lint-tools`
+# installs them and CI always runs with them present.
+lint:
+	$(GO) build -o bin/qlint ./cmd/qlint
+	./bin/qlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed (make lint-tools); skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed (make lint-tools); skipping"; \
+	fi
+
+# Install the pinned external linters (network required; CI caches the
+# result keyed on this Makefile, so the pins are the cache key).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 # Longer fuzz burst for the scheduler equivalence oracle.
 fuzz:
