@@ -7,7 +7,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: build test race verify lint lint-tools fuzz fuzz-smoke bench \
-	bench-smoke bench-permute bench-ckpt bench-telemetry
+	bench-smoke bench-permute bench-ckpt bench-telemetry bench-oocvec
 
 # Compile every package and link all six commands into bin/, so a broken
 # main package fails the build even though `go build ./...` discards
@@ -65,6 +65,7 @@ fuzz:
 # go test invocation is a toolchain limit).
 fuzz-smoke:
 	$(GO) test ./internal/schedule -fuzz FuzzScheduleEquivalence -fuzztime 10s
+	$(GO) test ./internal/schedule -fuzz FuzzChunkAccess -fuzztime 10s
 	$(GO) test ./internal/ckpt -fuzz FuzzShardDecode -fuzztime 10s
 	$(GO) test ./internal/ckpt -fuzz FuzzManifestDecode -fuzztime 10s
 	$(GO) test ./internal/kernels -fuzz FuzzBitPermutation -fuzztime 10s
@@ -98,3 +99,12 @@ bench-ckpt:
 # speedup must stay ≥ 0.98, i.e. ≤ 2% overhead, per DESIGN.md §9).
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_telemetry.json
+
+# Out-of-core prefetch baseline: the circuit-aware prefetch pipeline vs the
+# reactive one-pass-per-op baseline on a 28-qubit (4 GiB state file) run,
+# recorded (with the derived prefetch-vs-reactive speedup and the
+# prefetch-hit rate) in BENCH_oocvec.json. Override QUSIM_OOC_QUBITS /
+# QUSIM_OOC_CHUNK to size to the machine (state file = 16·2^qubits bytes,
+# chunk buffer = 16·2^chunk bytes, both ×2 transiently during a swap).
+bench-oocvec:
+	QUSIM_OOC_QUBITS=28 QUSIM_OOC_CHUNK=22 $(GO) test -run '^$$' -bench 'BenchmarkOOCPrefetch' -benchtime 1x -count 2 -timeout 60m . | $(GO) run ./cmd/benchjson > BENCH_oocvec.json

@@ -58,6 +58,7 @@ var pairs = map[string]string{
 	"fused":        "separate",
 	"checkpointed": "plain",
 	"enabled":      "disabled",
+	"prefetch":     "reactive",
 }
 
 func main() {

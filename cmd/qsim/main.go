@@ -10,6 +10,7 @@
 //	qsim -qubits 24 -ranks 8 -checkpoint-dir ck          # snapshot at stage boundaries
 //	qsim -qubits 24 -ranks 8 -checkpoint-dir ck -resume  # continue after a crash
 //	qsim -qubits 20 -ranks 4 -trace out.json -metrics    # per-rank trace + metrics dump
+//	qsim -qubits 28 -ooc -ooc-chunk 22 -ooc-prefetch 4   # out-of-core, prefetch pipeline
 package main
 
 import (
@@ -17,11 +18,13 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"time"
 
 	"qusim/internal/circuit"
 	"qusim/internal/ckpt"
 	"qusim/internal/dist"
 	"qusim/internal/kernels"
+	"qusim/internal/oocvec"
 	"qusim/internal/par"
 	"qusim/internal/schedule"
 	"qusim/internal/telemetry"
@@ -52,6 +55,11 @@ func main() {
 
 		traceFile = flag.String("trace", "", "write per-rank Chrome trace-event JSON to this file (open in chrome://tracing)")
 		metrics   = flag.Bool("metrics", false, "print the telemetry metrics dump after the run")
+
+		ooc         = flag.Bool("ooc", false, "run out-of-core: state in a file, processed in chunks")
+		oocChunk    = flag.Int("ooc-chunk", 0, "out-of-core chunk qubits l (2^l amplitudes in memory; default qubits-4)")
+		oocPrefetch = flag.Int("ooc-prefetch", 0, "chunks prefetched ahead of compute (0 = reactive, one pass per op)")
+		oocDir      = flag.String("ooc-dir", "", "directory for the out-of-core state file (default: system temp)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -83,6 +91,16 @@ func main() {
 				fmt.Printf("  k=%d -> %s (%.2f ms/sweep)\n", t.K, t.Variant, t.NsPerApply/1e6)
 			}
 		}
+	}
+
+	if *ooc {
+		runOutOfCore(circ, tel, oocOptions{
+			chunk: *oocChunk, prefetch: *oocPrefetch, dir: *oocDir,
+			kmax: *kmax, spec1q: *spec1q, planFile: *planFile, verbose: *verbose,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+		})
+		flushTelemetry(tel, *traceFile, *metrics)
+		return
 	}
 
 	if *baseline {
@@ -191,6 +209,111 @@ func flushTelemetry(tel *telemetry.Telemetry, traceFile string, metrics bool) {
 		if err := tel.WriteMetrics(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+type oocOptions struct {
+	chunk, prefetch int
+	dir             string
+	kmax            int
+	spec1q          bool
+	planFile        string
+	verbose         bool
+	ckptDir         string
+	ckptEvery       int
+	resume          bool
+}
+
+// runOutOfCore executes the circuit on the file-backed engine: the plan is
+// scheduled at l = chunk local qubits (chunk-index bits play the role of
+// the global qubits) and, with -ooc-prefetch > 0, runs through the
+// circuit-aware prefetch pipeline.
+func runOutOfCore(circ *circuit.Circuit, tel *telemetry.Telemetry, o oocOptions) {
+	l := o.chunk
+	if l == 0 {
+		l = circ.N - 4
+	}
+	var plan *schedule.Plan
+	if o.planFile != "" {
+		f, err := os.Open(o.planFile)
+		if err != nil {
+			fatal(err)
+		}
+		var perr error
+		plan, perr = schedule.ReadPlan(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+	} else {
+		opts := schedule.DefaultOptions(l)
+		opts.KMax = o.kmax
+		opts.SpecializeDiagonal1Q = o.spec1q
+		var err error
+		plan, err = schedule.Build(circ, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if o.verbose {
+		fmt.Print(plan.Summary())
+	}
+	v, err := oocvec.NewUniform(plan.N, plan.L, o.dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer v.Close()
+	v.SetPrefetch(o.prefetch)
+	v.SetTelemetry(tel)
+
+	start := time.Now()
+	restored, written := -1, 0
+	if o.ckptDir != "" {
+		pol := &ckpt.Policy{Dir: o.ckptDir, EveryStages: o.ckptEvery}
+		restored, written, err = v.RunCheckpointed(plan, pol, o.resume)
+	} else {
+		if o.resume {
+			fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+		}
+		err = v.Run(plan)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	norm, err := v.Norm()
+	if err != nil {
+		fatal(err)
+	}
+	ent, err := v.Entropy()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("circuit: %d qubits, %d gates\n", circ.N, len(circ.Gates))
+	fmt.Printf("ooc:     2^%d chunks of 2^%d amplitudes (%.1f MB each), prefetch %d\n",
+		plan.N-plan.L, plan.L, float64(uint64(16)<<plan.L)/1e6, v.Prefetch())
+	fmt.Printf("plan:    %d stages, %d swaps, %d clusters (%.1f gates/cluster), %d diag ops\n",
+		plan.Stats.Stages, plan.Stats.Swaps, plan.Stats.Clusters,
+		plan.Stats.GatesPerCluster, plan.Stats.DiagonalOps)
+	fmt.Printf("result:  norm=%.12f entropy=%.6f nats\n", norm, ent)
+	fmt.Printf("time:    %.3fs total\n", elapsed.Seconds())
+	if reg := tel.Registry(); reg != nil {
+		hits := reg.Counter("oocvec.prefetch_hits").Value()
+		misses := reg.Counter("oocvec.prefetch_misses").Value()
+		if hits+misses > 0 {
+			fmt.Printf("io:      %d chunks read, %d written, prefetch hits %d/%d (%.1f%%)\n",
+				reg.Counter("oocvec.chunks_read").Value(),
+				reg.Counter("oocvec.chunks_written").Value(),
+				hits, hits+misses, 100*float64(hits)/float64(hits+misses))
+		}
+	}
+	if o.ckptDir != "" {
+		resumedFrom := "fresh start"
+		if restored >= 0 {
+			resumedFrom = fmt.Sprintf("resumed at stage %d", restored)
+		}
+		fmt.Printf("ckpt:    %d snapshots committed, %s\n", written, resumedFrom)
 	}
 }
 

@@ -38,6 +38,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer v.Close()
+	// Arm the circuit-aware prefetch pipeline: each stage's gates fuse into
+	// one streamed pass, with 4 chunks read ahead of compute (DESIGN.md §11).
+	v.SetPrefetch(4)
 	if err := v.Run(plan); err != nil {
 		log.Fatal(err)
 	}

@@ -333,7 +333,7 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 				profOps[op.Kind]++
 			}
 			if sc != nil {
-				sc.Complete("stage", op.Kind.String(), t0, d, opArgs(op)...)
+				sc.Complete("stage", op.Kind.String(), t0, d, schedule.OpTraceArgs(op)...)
 			}
 			// Stage boundary: snapshot the state the remaining stages start
 			// from. The end of the final stage is skipped — there is nothing
@@ -520,32 +520,6 @@ func sampleLocal(c *mpi.Comm, plan *schedule.Plan, local []complex128, localNorm
 		out[s] = plan.LogicalIndex(c.Rank()<<l | idx)
 	}
 	return out
-}
-
-// opArgs builds the trace annotations for one plan op: the stage index
-// plus the qubit-set / fused-cluster details that make a timeline readable
-// without the plan at hand. Only called when tracing is enabled.
-func opArgs(op *schedule.Op) []telemetry.Arg {
-	args := []telemetry.Arg{telemetry.A("stage", op.Stage)}
-	switch op.Kind {
-	case schedule.OpCluster:
-		args = append(args,
-			telemetry.A("k", len(op.Positions)),
-			telemetry.A("pos", op.Positions),
-			telemetry.A("gates", op.GateCount))
-	case schedule.OpDiagonal:
-		args = append(args,
-			telemetry.A("pos", op.Positions),
-			telemetry.A("gates", op.GateCount))
-	case schedule.OpLocalPerm:
-		args = append(args, telemetry.A("width", len(op.Perm)))
-	case schedule.OpSwap:
-		args = append(args,
-			telemetry.A("local", op.LocalPos),
-			telemetry.A("global", op.GlobalPos),
-			telemetry.A("fused_perm", op.Perm != nil))
-	}
-	return args
 }
 
 // applyDiagonal executes a diagonal op whose positions may include global

@@ -97,20 +97,38 @@ func (v *Vector) RunCheckpointed(plan *schedule.Plan, pol *ckpt.Policy, resume b
 		}
 	}
 	every := pol.Every()
-	for i := range plan.Ops {
-		op := &plan.Ops[i]
-		if op.Stage < start {
-			continue
-		}
-		if err := v.ApplyOp(op); err != nil {
+	nstages := plan.Stages()
+	for s := start; s < nstages; s++ {
+		if err := v.runOneStage(plan, s); err != nil {
 			return restoredStage, written, err
 		}
-		if i+1 < len(plan.Ops) && plan.Ops[i+1].Stage != op.Stage && (op.Stage+1)%every == 0 {
-			if err := v.Checkpoint(pol.Dir, plan, op.Stage+1, pol.KeepN()); err != nil {
+		// Snapshot at the stage boundary; the end of the final stage is
+		// skipped — there is nothing left to resume into.
+		if s+1 < nstages && (s+1)%every == 0 {
+			if err := v.Checkpoint(pol.Dir, plan, s+1, pol.KeepN()); err != nil {
 				return restoredStage, written, err
 			}
 			written++
 		}
 	}
 	return restoredStage, written, nil
+}
+
+// runOneStage executes exactly one stage: through the prefetch pipeline
+// when armed, reactively op by op otherwise. Both orders apply the same
+// per-amplitude operations, so checkpoints taken at the boundary are
+// bitwise identical either way.
+func (v *Vector) runOneStage(plan *schedule.Plan, s int) error {
+	if v.prefetch > 0 {
+		return v.runPipelined(plan, s, s+1)
+	}
+	for i := range plan.Ops {
+		if plan.Ops[i].Stage != s {
+			continue
+		}
+		if err := v.ApplyOp(&plan.Ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

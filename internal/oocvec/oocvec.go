@@ -10,17 +10,27 @@
 // chunk bits specialize exactly like global gates; and the global-to-local
 // swap is the file analogue of the all-to-all: a block-transposing copy
 // into a second file.
+//
+// Execution is circuit-aware: the scheduler's per-stage chunk access map
+// (schedule.AccessMap) tells the engine, before any I/O happens, exactly
+// which chunks every upcoming stage reads, writes and exchanges. With a
+// prefetch depth armed (SetPrefetch), Run fuses each stage's local ops
+// into a single streamed pass and overlaps it with asynchronous
+// prefetch/writeback (pipeline.go); at depth 0 it falls back to the
+// reactive one-pass-per-op baseline. Both paths are bitwise identical.
 package oocvec
 
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"os"
+	"time"
 
 	"qusim/internal/kernels"
+	"qusim/internal/par"
 	"qusim/internal/schedule"
+	"qusim/internal/telemetry"
 )
 
 // Vector is an n-qubit state stored in a file, processed in 2^l-amplitude
@@ -29,8 +39,14 @@ type Vector struct {
 	N int // total qubits
 	L int // in-memory chunk holds 2^L amplitudes
 
-	f   *os.File
-	buf []complex128 // one chunk
+	f    *os.File
+	path string       // backing file path; stable across swap adoptions
+	dir  string       // directory holding the backing and swap files
+	buf  []complex128 // one chunk (reactive path / streaming helpers)
+	raw  []byte       // encoded form of one chunk, reused across I/O calls
+
+	prefetch int // chunks read ahead of the compute loop; 0 = reactive
+	tel      vecTel
 }
 
 const ampBytes = 16
@@ -48,7 +64,8 @@ func New(n, l int, dir string) (*Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &Vector{N: n, L: l, f: f, buf: make([]complex128, 1<<l)}
+	v := &Vector{N: n, L: l, f: f, path: f.Name(), dir: dir,
+		buf: make([]complex128, 1<<l), raw: make([]byte, ampBytes<<l)}
 	// Initialize to zero; first chunk carries amplitude 1 at index 0.
 	for c := 0; c < v.Chunks(); c++ {
 		for i := range v.buf {
@@ -85,11 +102,68 @@ func NewUniform(n, l int, dir string) (*Vector, error) {
 	return v, nil
 }
 
+// SetPrefetch arms the prefetch pipeline: Run and RunFrom will execute
+// each stage as one fused streamed pass with depth chunks read ahead of
+// the compute loop and writeback drained asynchronously. Depth 0 (the
+// default) keeps the reactive one-pass-per-op baseline. Negative depths
+// clamp to 0.
+func (v *Vector) SetPrefetch(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	v.prefetch = depth
+}
+
+// Prefetch returns the armed prefetch depth.
+func (v *Vector) Prefetch() int { return v.prefetch }
+
+// vecTel caches the vector's telemetry handles (all nil-safe when
+// disarmed): the engine/reader/writeback timelines plus the prefetch and
+// I/O metrics the pipeline updates per chunk.
+type vecTel struct {
+	sc   *telemetry.Scope // tid 0: compute loop, op/stage spans
+	rdSc *telemetry.Scope // tid 1: prefetch reader
+	wrSc *telemetry.Scope // tid 2: asynchronous writeback
+
+	hits, misses  *telemetry.Counter // prefetch hit = chunk ready when asked
+	chunksRead    *telemetry.Counter
+	chunksWritten *telemetry.Counter
+	planHits      *telemetry.Gauge // cumulative plan-analysis cache hits
+	planMisses    *telemetry.Gauge
+	inFlight      *telemetry.Gauge // bytes held in pipeline buffers
+	readNs        *telemetry.Histogram
+	writeNs       *telemetry.Histogram
+}
+
+// SetTelemetry arms (or, with nil / telemetry.Disabled, disarms) the
+// vector's instrumentation: op and stage spans on the engine timeline,
+// prefetch-reader and writeback span rows whose overlap with compute is
+// directly visible in the trace, and the oocvec.* counters.
+func (v *Vector) SetTelemetry(t *telemetry.Telemetry) {
+	if !t.Enabled() {
+		v.tel = vecTel{}
+		return
+	}
+	v.tel = vecTel{
+		sc:            t.Scope(telemetry.OocPID, 0, "oocvec", "engine"),
+		rdSc:          t.Scope(telemetry.OocPID, 1, "oocvec", "prefetch reader"),
+		wrSc:          t.Scope(telemetry.OocPID, 2, "oocvec", "writeback"),
+		hits:          t.Counter("oocvec.prefetch_hits"),
+		misses:        t.Counter("oocvec.prefetch_misses"),
+		chunksRead:    t.Counter("oocvec.chunks_read"),
+		chunksWritten: t.Counter("oocvec.chunks_written"),
+		planHits:      t.Gauge("oocvec.plan_cache_hits"),
+		planMisses:    t.Gauge("oocvec.plan_cache_misses"),
+		inFlight:      t.Gauge("oocvec.bytes_in_flight"),
+		readNs:        t.Histogram("oocvec.read_ns"),
+		writeNs:       t.Histogram("oocvec.write_ns"),
+	}
+}
+
 // Close removes the backing file.
 func (v *Vector) Close() error {
-	name := v.f.Name()
 	err := v.f.Close()
-	if rmErr := os.Remove(name); err == nil {
+	if rmErr := os.Remove(v.path); err == nil {
 		err = rmErr
 	}
 	return err
@@ -98,60 +172,107 @@ func (v *Vector) Close() error {
 // Chunks returns the number of file chunks, 2^(N−L).
 func (v *Vector) Chunks() int { return 1 << (v.N - v.L) }
 
-func (v *Vector) readChunk(c int, dst []complex128) error {
-	off := int64(c) << uint(v.L) * ampBytes
-	if _, err := v.f.Seek(off, io.SeekStart); err != nil {
-		return err
-	}
-	return binary.Read(v.f, binary.LittleEndian, dst)
+// chunkBytes returns the encoded size of one chunk.
+func (v *Vector) chunkBytes() int { return ampBytes << v.L }
+
+// decodeChunk fills amps from the little-endian encoding in raw — the
+// byte-moving inner loop of every prefetch read, parallelized over the
+// worker pool like the kernel sweeps it feeds.
+//
+//qusim:hot
+func decodeChunk(raw []byte, amps []complex128) {
+	par.For(len(amps), 1<<13, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*ampBytes:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*ampBytes+8:]))
+			amps[i] = complex(re, im)
+		}
+	})
 }
 
-// writeHook, when non-nil, can fail a chunk write before it reaches the
-// file — the test failpoint proving every constructor error path removes
-// its temp file instead of leaking it.
-var writeHook func(chunk int) error
+// encodeChunk is the writeback inverse of decodeChunk.
+//
+//qusim:hot
+func encodeChunk(amps []complex128, raw []byte) {
+	par.For(len(amps), 1<<13, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint64(raw[i*ampBytes:], math.Float64bits(real(amps[i])))
+			binary.LittleEndian.PutUint64(raw[i*ampBytes+8:], math.Float64bits(imag(amps[i])))
+		}
+	})
+}
 
-func (v *Vector) writeChunk(c int, src []complex128) error {
+// readHook and writeHook, when non-nil, can fail a chunk read/write before
+// it reaches the file — the test failpoints proving every error path
+// (constructor loops, the reactive stream, and a mid-flight prefetch
+// pipeline) shuts down cleanly: no leaked goroutines, no leaked temp
+// files, Close still succeeding.
+var (
+	readHook  func(chunk int) error
+	writeHook func(chunk int) error
+)
+
+// readChunkInto reads chunk c of f into amps via the scratch buffer raw.
+// It uses positional I/O, so concurrent calls on distinct chunks are safe.
+func readChunkInto(f *os.File, l, c int, amps []complex128, raw []byte) error {
+	if readHook != nil {
+		if err := readHook(c); err != nil {
+			return err
+		}
+	}
+	off := int64(c) << uint(l) * ampBytes
+	if _, err := f.ReadAt(raw, off); err != nil {
+		return err
+	}
+	decodeChunk(raw, amps)
+	return nil
+}
+
+// writeChunkFrom writes amps as chunk c of f via the scratch buffer raw.
+func writeChunkFrom(f *os.File, l, c int, amps []complex128, raw []byte) error {
 	if writeHook != nil {
 		if err := writeHook(c); err != nil {
 			return err
 		}
 	}
-	off := int64(c) << uint(v.L) * ampBytes
-	if _, err := v.f.Seek(off, io.SeekStart); err != nil {
-		return err
-	}
-	return binary.Write(v.f, binary.LittleEndian, src)
+	encodeChunk(amps, raw)
+	off := int64(c) << uint(l) * ampBytes
+	_, err := f.WriteAt(raw, off)
+	return err
 }
 
-// ApplyOp executes one plan op. Cluster positions must be below L (the
-// scheduler guarantees this when built with LocalQubits = L); diagonal ops
-// may touch chunk-index positions; OpSwap exchanges the top in-chunk
-// positions with chunk-index positions; OpLocalPerm permutes in-chunk
-// positions.
+func (v *Vector) readChunk(c int, dst []complex128) error {
+	return readChunkInto(v.f, v.L, c, dst, v.raw)
+}
+
+func (v *Vector) writeChunk(c int, src []complex128) error {
+	return writeChunkFrom(v.f, v.L, c, src, v.raw)
+}
+
+// ApplyOp executes one plan op reactively (one streamed pass for this op
+// alone). Cluster positions must be below L (the scheduler guarantees this
+// when built with LocalQubits = L); diagonal ops may touch chunk-index
+// positions; OpSwap exchanges the top in-chunk positions with chunk-index
+// positions; OpLocalPerm permutes in-chunk positions.
 func (v *Vector) ApplyOp(op *schedule.Op) error {
+	t0 := v.tel.sc.Now()
+	err := v.applyOp(op)
+	if err == nil && !t0.IsZero() {
+		v.tel.sc.Complete("stage", op.Kind.String(), t0, time.Since(t0),
+			append(schedule.OpTraceArgs(op), telemetry.A("chunks", v.Chunks()))...)
+	}
+	return err
+}
+
+func (v *Vector) applyOp(op *schedule.Op) error {
 	switch op.Kind {
 	case schedule.OpCluster:
 		return v.streamChunks(func(c int, amps []complex128) {
 			kernels.Apply(kernels.Specialized, amps, op.Matrix.Data, op.Positions, nil)
 		})
 	case schedule.OpDiagonal:
-		nl := 0
-		for nl < len(op.Positions) && op.Positions[nl] < v.L {
-			nl++
-		}
 		return v.streamChunks(func(c int, amps []complex128) {
-			gbits := 0
-			for j := nl; j < len(op.Positions); j++ {
-				if c&(1<<(op.Positions[j]-v.L)) != 0 {
-					gbits |= 1 << (j - nl)
-				}
-			}
-			if nl == 0 {
-				kernels.Scale(amps, op.Diag[gbits])
-				return
-			}
-			kernels.ApplyDiagonal(amps, op.Diag[gbits<<nl:(gbits+1)<<nl], op.Positions[:nl])
+			applyDiagonalChunk(op, c, v.L, amps)
 		})
 	case schedule.OpLocalPerm:
 		return v.streamChunks(func(c int, amps []complex128) {
@@ -173,6 +294,28 @@ func (v *Vector) ApplyOp(op *schedule.Op) error {
 	return fmt.Errorf("oocvec: unknown op kind %v", op.Kind)
 }
 
+// applyDiagonalChunk applies a diagonal op (whose positions may include
+// chunk-index locations ≥ l) to chunk c — shared by the reactive stream
+// and the fused pipeline pass so the two paths are bitwise identical by
+// construction.
+func applyDiagonalChunk(op *schedule.Op, c, l int, amps []complex128) {
+	nl := 0
+	for nl < len(op.Positions) && op.Positions[nl] < l {
+		nl++
+	}
+	gbits := 0
+	for j := nl; j < len(op.Positions); j++ {
+		if c&(1<<(op.Positions[j]-l)) != 0 {
+			gbits |= 1 << (j - nl)
+		}
+	}
+	if nl == 0 {
+		kernels.Scale(amps, op.Diag[gbits])
+		return
+	}
+	kernels.ApplyDiagonal(amps, op.Diag[gbits<<nl:(gbits+1)<<nl], op.Positions[:nl])
+}
+
 // streamChunks runs fn over every chunk with one sequential read+write
 // pass — the access pattern that makes SSD-backed state practical.
 func (v *Vector) streamChunks(fn func(chunk int, amps []complex128)) error {
@@ -188,26 +331,58 @@ func (v *Vector) streamChunks(fn func(chunk int, amps []complex128)) error {
 	return nil
 }
 
+// swapGeometry validates an OpSwap against the chunk layout and returns
+// the chunk-index bit of each swapped position.
+func (v *Vector) swapGeometry(op *schedule.Op) ([]int, error) {
+	q := len(op.LocalPos)
+	for j, p := range op.LocalPos {
+		if p != v.L-q+j {
+			return nil, fmt.Errorf("oocvec: swap local positions %v are not the top %d in-chunk locations", op.LocalPos, q)
+		}
+	}
+	bitPos := make([]int, q)
+	for j, p := range op.GlobalPos {
+		bitPos[j] = p - v.L
+	}
+	return bitPos, nil
+}
+
+// chunkMember returns the member index of chunk c within its swap group —
+// the sub-block slot its data lands in at every destination.
+func chunkMember(c int, bitPos []int) int {
+	m := 0
+	for t, b := range bitPos {
+		if c&(1<<b) != 0 {
+			m |= 1 << t
+		}
+	}
+	return m
+}
+
+// swapDest returns the destination chunk for sub-block j of chunk c.
+func swapDest(c, j int, bitPos []int) int {
+	dst := c
+	for t, b := range bitPos {
+		dst &^= 1 << b
+		if j&(1<<t) != 0 {
+			dst |= 1 << b
+		}
+	}
+	return dst
+}
+
 // swap is the file analogue of the group all-to-all: in-chunk positions
 // [L−q, L) are exchanged with the chunk-index positions in op.GlobalPos.
 // Sub-blocks are copied through a second file, then the files swap roles.
 func (v *Vector) swap(op *schedule.Op) error {
-	q := len(op.LocalPos)
-	for j, p := range op.LocalPos {
-		if p != v.L-q+j {
-			return fmt.Errorf("oocvec: swap local positions %v are not the top %d in-chunk locations", op.LocalPos, q)
-		}
-	}
-	bitPos := make([]int, q) // chunk-index bit for each swapped position
-	for j, p := range op.GlobalPos {
-		bitPos[j] = p - v.L
-	}
-	out, err := os.CreateTemp("", "oocvec-*.swap")
+	bitPos, err := v.swapGeometry(op)
 	if err != nil {
 		return err
 	}
-	sub := len(v.buf) >> q // sub-block length
-	block := make([]complex128, sub)
+	out, err := os.CreateTemp(v.dir, "oocvec-*.swap")
+	if err != nil {
+		return err
+	}
 	// Destination chunk d receives, as its m-th sub-block, the d-bits
 	// sub-block of the source chunk that has member index m.
 	for c := 0; c < v.Chunks(); c++ {
@@ -216,42 +391,54 @@ func (v *Vector) swap(op *schedule.Op) error {
 			os.Remove(out.Name())
 			return err
 		}
-		// Member index of chunk c within its group.
-		m := 0
-		for t, b := range bitPos {
-			if c&(1<<b) != 0 {
-				m |= 1 << t
-			}
-		}
-		for j := 0; j < 1<<q; j++ {
-			// Sub-block j of chunk c goes to the group member with index
-			// j, landing at sub-block m.
-			dst := c
-			for t, b := range bitPos {
-				dst &^= 1 << b
-				if j&(1<<t) != 0 {
-					dst |= 1 << b
-				}
-			}
-			copy(block, v.buf[j*sub:(j+1)*sub])
-			off := (int64(dst)<<uint(v.L) + int64(m)*int64(sub)) * ampBytes
-			if _, err := out.Seek(off, io.SeekStart); err != nil {
-				out.Close()
-				os.Remove(out.Name())
-				return err
-			}
-			if err := binary.Write(out, binary.LittleEndian, block); err != nil {
-				out.Close()
-				os.Remove(out.Name())
-				return err
-			}
+		if err := scatterChunk(out, v.L, c, bitPos, v.buf, v.raw); err != nil {
+			out.Close()
+			os.Remove(out.Name())
+			return err
 		}
 	}
+	return v.adoptSwapFile(out)
+}
+
+// scatterChunk writes each sub-block of chunk c to its destination in the
+// swap target file. amps is encoded once into raw; the sub-block writes
+// slice the encoding.
+func scatterChunk(out *os.File, l, c int, bitPos []int, amps []complex128, raw []byte) error {
+	if writeHook != nil {
+		if err := writeHook(c); err != nil {
+			return err
+		}
+	}
+	q := len(bitPos)
+	sub := len(amps) >> q
+	m := chunkMember(c, bitPos)
+	encodeChunk(amps, raw)
+	for j := 0; j < 1<<q; j++ {
+		// Sub-block j of chunk c goes to the group member with index j,
+		// landing at sub-block m.
+		dst := swapDest(c, j, bitPos)
+		off := (int64(dst)<<uint(l) + int64(m)*int64(sub)) * ampBytes
+		if _, err := out.WriteAt(raw[j*sub*ampBytes:(j+1)*sub*ampBytes], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptSwapFile retires the current backing file in favor of the
+// just-written swap target, renaming it over the old *.state path so the
+// backing file keeps its name (and the directory never accumulates *.swap
+// entries) across any number of swaps.
+//
+//qlint:ignore atomicrename the rename moves transient working state, not a durability commit; a crash mid-run restarts from a ckpt snapshot (which does use the fsync+rename helper), never from this file
+func (v *Vector) adoptSwapFile(out *os.File) error {
 	old := v.f
 	v.f = out
-	name := old.Name()
-	old.Close()
-	return os.Remove(name)
+	if err := os.Rename(out.Name(), v.path); err != nil {
+		old.Close()
+		return err
+	}
+	return old.Close()
 }
 
 // Run executes a full plan built with LocalQubits = L.
@@ -260,10 +447,15 @@ func (v *Vector) Run(plan *schedule.Plan) error {
 }
 
 // RunFrom executes only the ops with Stage ≥ startStage — the resume path
-// after Restore loaded a snapshot taken at that stage boundary.
+// after Restore loaded a snapshot taken at that stage boundary. With a
+// prefetch depth armed it runs the pipelined per-stage executor; at depth
+// 0 it applies ops reactively, one streamed pass each.
 func (v *Vector) RunFrom(plan *schedule.Plan, startStage int) error {
 	if plan.N != v.N || plan.L != v.L {
 		return fmt.Errorf("oocvec: plan (n=%d l=%d) does not match vector (n=%d l=%d)", plan.N, plan.L, v.N, v.L)
+	}
+	if v.prefetch > 0 {
+		return v.runPipelined(plan, startStage, plan.Stages())
 	}
 	for i := range plan.Ops {
 		if plan.Ops[i].Stage < startStage {

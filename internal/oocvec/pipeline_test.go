@@ -1,0 +1,322 @@
+package oocvec
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"qusim/internal/ckpt"
+	"qusim/internal/telemetry"
+)
+
+// TestPipelineMatchesReactiveBitwise is the core pipeline guarantee: every
+// prefetch depth — shallow, deeper than the chunk count, anything — must
+// produce amplitudes bitwise identical to the reactive depth-0 baseline,
+// because the fused stage pass applies exactly the same per-amplitude
+// operations in the same order.
+func TestPipelineMatchesReactiveBitwise(t *testing.T) {
+	n, l := 12, 6 // 64 chunks, multi-swap plan
+	_, plan := buildPlan(t, n, l, 16, 5)
+	if plan.Stats.Swaps < 2 {
+		t.Fatalf("want a multi-swap plan, got %d swaps", plan.Stats.Swaps)
+	}
+	ref := oocAmps(t, n, l, func(v *Vector) error { return v.Run(plan) })
+	for _, depth := range []int{1, 2, 3, 8, 1 << (n - l), 1<<(n-l) + 7} {
+		got := oocAmps(t, n, l, func(v *Vector) error {
+			v.SetPrefetch(depth)
+			return v.Run(plan)
+		})
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("depth %d: amplitude %d differs: %v vs %v", depth, i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestPipelineCheckpointResumeBitwise proves checkpoint/restore stays
+// bitwise identical under the new execution order: a pipelined
+// checkpointed run, a reactive clean run, and a pipelined resumed run must
+// all agree exactly.
+func TestPipelineCheckpointResumeBitwise(t *testing.T) {
+	n, l := 10, 6
+	_, plan := buildPlan(t, n, l, 16, 4)
+	if plan.Stages() < 2 {
+		t.Fatalf("plan has %d stages; the scenario needs at least 2", plan.Stages())
+	}
+	clean := oocAmps(t, n, l, func(v *Vector) error { return v.Run(plan) })
+
+	dir := t.TempDir()
+	pol := &ckpt.Policy{Dir: dir}
+	first := oocAmps(t, n, l, func(v *Vector) error {
+		v.SetPrefetch(3)
+		restored, written, err := v.RunCheckpointed(plan, pol, false)
+		if err != nil {
+			return err
+		}
+		if restored != -1 {
+			t.Errorf("fresh run restored from stage %d", restored)
+		}
+		if written == 0 {
+			t.Error("no snapshots committed")
+		}
+		return nil
+	})
+	for i := range clean {
+		if clean[i] != first[i] {
+			t.Fatalf("pipelined checkpointed run diverged at amplitude %d", i)
+		}
+	}
+
+	resumed := oocAmps(t, n, l, func(v *Vector) error {
+		v.SetPrefetch(2)
+		restored, _, err := v.RunCheckpointed(plan, pol, true)
+		if err != nil {
+			return err
+		}
+		if restored < 0 {
+			t.Error("resume found no snapshot")
+		}
+		return nil
+	})
+	for i := range clean {
+		if clean[i] != resumed[i] {
+			t.Fatalf("pipelined resumed run diverged at amplitude %d", i)
+		}
+	}
+}
+
+// awaitGoroutineBaseline waits for the process goroutine count to settle
+// back to the pre-run baseline — a leaked reader or writeback goroutine
+// keeps the count elevated and fails the assertion with a stack dump.
+func awaitGoroutineBaseline(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertOnlyBackingFile fails if dir holds anything besides the vector's
+// backing state file — a leftover *.swap temp is a pipeline cleanup bug.
+func assertOnlyBackingFile(t *testing.T, dir string, when string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".state") {
+			t.Fatalf("%s leaked temp file %s", when, e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%s: want exactly the backing file in %s, have %d entries", when, dir, len(entries))
+	}
+}
+
+// TestPipelineFaultInjection errors reads and writes mid-prefetch — in
+// streamed stages and in the scattered swap writeback — and asserts clean
+// shutdown every time: the error surfaces, no goroutine outlives Run, no
+// swap temp file is leaked, and Close still succeeds.
+func TestPipelineFaultInjection(t *testing.T) {
+	n, l := 10, 5 // 32 chunks
+	_, plan := buildPlan(t, n, l, 16, 8)
+	if plan.Stats.Swaps < 1 {
+		t.Fatalf("want a swap in the plan, got %d", plan.Stats.Swaps)
+	}
+	defer func() { readHook, writeHook = nil, nil }()
+
+	// Warm up once so shared pools (par workers) are at steady state
+	// before the goroutine baseline is captured.
+	warm := t.TempDir()
+	{
+		v, err := NewUniform(n, l, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.SetPrefetch(4)
+		if err := v.Run(plan); err != nil {
+			t.Fatal(err)
+		}
+		v.Close()
+	}
+
+	type scenario struct {
+		name string
+		arm  func(fail *int32)
+	}
+	scenarios := []scenario{
+		{"read", func(calls *int32) {
+			readHook = func(chunk int) error {
+				*calls++
+				if *calls > 40 { // past init reads, mid-run
+					return fmt.Errorf("injected read failure at chunk %d", chunk)
+				}
+				return nil
+			}
+		}},
+		{"write", func(calls *int32) {
+			writeHook = func(chunk int) error {
+				*calls++
+				if *calls > 70 { // past the 2×32 constructor writes, mid-run
+					return fmt.Errorf("injected write failure at chunk %d", chunk)
+				}
+				return nil
+			}
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			dir := t.TempDir()
+			var calls int32
+			sc.arm(&calls)
+			v, err := NewUniform(n, l, dir)
+			if err != nil {
+				t.Fatalf("constructor tripped the failpoint before the run: %v", err)
+			}
+			v.SetPrefetch(4)
+			runErr := v.Run(plan)
+			readHook, writeHook = nil, nil
+			if runErr == nil {
+				t.Fatal("injected fault did not surface from Run")
+			}
+			if !strings.Contains(runErr.Error(), "injected") {
+				t.Fatalf("unexpected error: %v", runErr)
+			}
+			awaitGoroutineBaseline(t, base)
+			assertOnlyBackingFile(t, dir, "failed pipelined run")
+			if err := v.Close(); err != nil {
+				t.Fatalf("Close after failed run: %v", err)
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 0 {
+				t.Fatalf("Close left %d entries behind", len(entries))
+			}
+		})
+	}
+}
+
+// TestPipelineTelemetry checks the pipeline's observability contract: the
+// prefetch hit/miss counters account for every chunk of every stage pass,
+// chunk read/write counters move, spans land on the engine and I/O
+// timelines, and bytes-in-flight returns to zero once the run drains.
+func TestPipelineTelemetry(t *testing.T) {
+	n, l := 10, 6
+	_, plan := buildPlan(t, n, l, 14, 9)
+	tel := telemetry.New()
+	v, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	v.SetPrefetch(3)
+	v.SetTelemetry(tel)
+	if err := v.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	reg := tel.Registry()
+	hits := reg.Counter("oocvec.prefetch_hits").Value()
+	misses := reg.Counter("oocvec.prefetch_misses").Value()
+	read := reg.Counter("oocvec.chunks_read").Value()
+	written := reg.Counter("oocvec.chunks_written").Value()
+	if hits+misses == 0 {
+		t.Fatal("no prefetch hit/miss accounting recorded")
+	}
+	if hits+misses != read {
+		t.Errorf("hits+misses = %d, want the %d chunks read", hits+misses, read)
+	}
+	if read != written {
+		t.Errorf("chunks read %d != chunks written %d", read, written)
+	}
+	access, err := plan.AccessMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChunks := int64(0)
+	for i := range access.Stages {
+		sa := &access.Stages[i]
+		if len(sa.StreamOps) > 0 || sa.Exchanges() {
+			wantChunks += int64(v.Chunks())
+		}
+	}
+	if read != wantChunks {
+		t.Errorf("chunks read %d, access map predicts %d", read, wantChunks)
+	}
+	if got := reg.Gauge("oocvec.bytes_in_flight").Value(); got != 0 {
+		t.Errorf("bytes in flight %d after drain, want 0", got)
+	}
+	if tel.SpanCount() == 0 {
+		t.Error("no spans recorded")
+	}
+}
+
+// TestReactiveSpanParity checks satellite parity with the dist engine: the
+// reactive path's op spans use the same category/name scheme ("stage" /
+// op kind) and the shared schedule.OpTraceArgs annotations, so traces from
+// the two backends are directly comparable.
+func TestReactiveSpanParity(t *testing.T) {
+	n, l := 10, 6
+	_, plan := buildPlan(t, n, l, 14, 9)
+	tel := telemetry.New()
+	v, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	v.SetTelemetry(tel)
+	if err := v.Run(plan); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tel.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	trace := sb.String()
+	for _, want := range []string{
+		`"name":"cluster"`, `"name":"swap"`, // op-kind span names, as in dist
+		`"cat":"stage"`,
+		`"stage":0`, `"chunks":`, `"pos":`, // qubit set + chunk count args
+	} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	if kinds := len(plan.Ops); tel.SpanCount() < kinds {
+		t.Errorf("only %d spans for %d ops", tel.SpanCount(), kinds)
+	}
+}
+
+// TestPrefetchClamp covers the degenerate depths.
+func TestPrefetchClamp(t *testing.T) {
+	v, err := New(8, 5, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	v.SetPrefetch(-3)
+	if v.Prefetch() != 0 {
+		t.Errorf("negative depth not clamped: %d", v.Prefetch())
+	}
+	v.SetPrefetch(7)
+	if v.Prefetch() != 7 {
+		t.Errorf("Prefetch() = %d, want 7", v.Prefetch())
+	}
+	// A mismatched plan must be rejected before any pipeline spins up.
+	_, plan := buildPlanHelper(t)
+	if err := v.Run(plan); err == nil {
+		t.Error("mismatched plan accepted by pipelined Run")
+	}
+}

@@ -63,3 +63,47 @@ func (p *Plan) Fingerprint() string {
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// StructureFingerprint digests only what determines a plan's *access
+// structure* — dimensions, op kinds, positions, permutations, stage
+// indices and matrix/diagonal shapes — while ignoring the matrix and
+// diagonal *values*. Two plans of the same parameterized circuit at
+// different gate angles (a QAOA/VQE sweep) share a structure fingerprint
+// even though their full Fingerprints differ, so analysis keyed on it
+// (the per-stage chunk access map, see AccessMap) is computed once per
+// circuit shape, not once per parameter point.
+func (p *Plan) StructureFingerprint() string {
+	h := sha256.New()
+	var scratch [8]byte
+	wi := func(x int) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(int64(x)))
+		h.Write(scratch[:])
+	}
+	wis := func(xs []int) {
+		wi(len(xs))
+		for _, x := range xs {
+			wi(x)
+		}
+	}
+
+	h.Write([]byte("qusim-plan-structfp-v1"))
+	wi(p.N)
+	wi(p.L)
+	wis(p.InitialPos)
+	wis(p.FinalPos)
+	wi(len(p.Ops))
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		wi(int(op.Kind))
+		wi(op.Stage)
+		wis(op.Positions)
+		wis(op.Perm)
+		wis(op.LocalPos)
+		wis(op.GlobalPos)
+		// Shapes only: a value change must not change the structure, but a
+		// dense gate growing a qubit (different matrix size) must.
+		wi(len(op.Matrix.Data))
+		wi(len(op.Diag))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,31 @@
+package schedule
+
+import "qusim/internal/telemetry"
+
+// OpTraceArgs builds the canonical trace annotations for one plan op: the
+// stage index plus the qubit-set / fused-cluster details that make a
+// timeline readable without the plan at hand. Every executor (dist, oocvec)
+// attaches these same args to its op spans, so traces from different
+// backends stay directly comparable. Only called when tracing is enabled.
+func OpTraceArgs(op *Op) []telemetry.Arg {
+	args := []telemetry.Arg{telemetry.A("stage", op.Stage)}
+	switch op.Kind {
+	case OpCluster:
+		args = append(args,
+			telemetry.A("k", len(op.Positions)),
+			telemetry.A("pos", op.Positions),
+			telemetry.A("gates", op.GateCount))
+	case OpDiagonal:
+		args = append(args,
+			telemetry.A("pos", op.Positions),
+			telemetry.A("gates", op.GateCount))
+	case OpLocalPerm:
+		args = append(args, telemetry.A("width", len(op.Perm)))
+	case OpSwap:
+		args = append(args,
+			telemetry.A("local", op.LocalPos),
+			telemetry.A("global", op.GlobalPos),
+			telemetry.A("fused_perm", op.Perm != nil))
+	}
+	return args
+}

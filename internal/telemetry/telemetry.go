@@ -41,6 +41,11 @@ const PoolPID = 1 << 20
 // (deadline watchdog arm/disarm/expiry) that belong to no single rank.
 const WatchdogPID = PoolPID + 1
 
+// OocPID is the trace process id of the out-of-core engine: one process
+// with the compute loop on tid 0 and the prefetch-reader / writeback
+// timelines on tids 1 and 2, so I/O-overlap is visible as parallel rows.
+const OocPID = PoolPID + 2
+
 // Disabled is the no-op telemetry sink: a typed nil whose methods — and the
 // methods of every Scope, Counter, Gauge and Histogram obtained through
 // it — all reduce to a nil check. Passing Disabled (or leaving a hook nil)

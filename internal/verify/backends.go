@@ -10,6 +10,7 @@ import (
 	"qusim/internal/dist"
 	"qusim/internal/kernels"
 	"qusim/internal/mpi"
+	"qusim/internal/oocvec"
 	"qusim/internal/schedule"
 	"qusim/internal/statevec"
 )
@@ -117,6 +118,55 @@ func (b *scheduledBackend) Run(c *circuit.Circuit) ([]complex128, error) {
 		return nil, err
 	}
 	return unpermute(plan, v.Amps), nil
+}
+
+// out-of-core backend ---------------------------------------------------------
+
+type oocBackend struct {
+	name     string
+	globals  int
+	prefetch int
+}
+
+// OutOfCore returns a backend that schedules at l = n − globals and
+// executes the plan through the file-backed out-of-core engine, paging the
+// state through 2^globals file chunks. prefetch > 0 arms the circuit-aware
+// prefetch pipeline (fused stage passes, asynchronous I/O); 0 keeps the
+// reactive one-pass-per-op baseline — enrolling both in the matrix
+// cross-checks every paged execution mode against the in-memory reference.
+func OutOfCore(globals, prefetch int) Backend {
+	name := fmt.Sprintf("oocvec/g%d-reactive", globals)
+	if prefetch > 0 {
+		name = fmt.Sprintf("oocvec/g%d-prefetch%d", globals, prefetch)
+	}
+	return &oocBackend{name: name, globals: globals, prefetch: prefetch}
+}
+
+func (b *oocBackend) Name() string { return b.name }
+
+func (b *oocBackend) Run(c *circuit.Circuit) ([]complex128, error) {
+	l := c.N - b.globals
+	if l < 1 || l < minLocalQubits(c) {
+		return nil, ErrUnsupported
+	}
+	plan, err := schedule.Build(c, defaultScheduleOptions(l))
+	if err != nil {
+		return nil, err
+	}
+	v, err := oocvec.New(c.N, l, "")
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	v.SetPrefetch(b.prefetch)
+	if err := v.Run(plan); err != nil {
+		return nil, err
+	}
+	amps, err := v.Amplitudes()
+	if err != nil {
+		return nil, err
+	}
+	return unpermute(plan, amps), nil
 }
 
 // distributed backend ---------------------------------------------------------

@@ -120,6 +120,8 @@ func Matrix(quick bool) (ref Backend, backends []Backend) {
 		Scheduled(2),
 		Distributed(4),
 		Baseline(4),
+		OutOfCore(2, 0),
+		OutOfCore(2, 3),
 	}
 	if !quick {
 		backends = append(backends,
@@ -129,6 +131,8 @@ func Matrix(quick bool) (ref Backend, backends []Backend) {
 			Distributed(2),
 			Distributed(8),
 			Baseline(8),
+			OutOfCore(3, 1),
+			OutOfCore(2, 8),
 		)
 	}
 	return ref, backends
