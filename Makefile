@@ -7,7 +7,8 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: build test race verify lint lint-tools fuzz fuzz-smoke bench \
-	bench-smoke bench-permute bench-ckpt bench-telemetry bench-oocvec
+	bench-smoke bench-permute bench-ckpt bench-telemetry bench-oocvec \
+	bench-kernels
 
 # Compile every package and link all six commands into bin/, so a broken
 # main package fails the build even though `go build ./...` discards
@@ -99,6 +100,16 @@ bench-ckpt:
 # speedup must stay ≥ 0.98, i.e. ≤ 2% overhead, per DESIGN.md §9).
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead' -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson > BENCH_telemetry.json
+
+# Single-precision kernel-suite baseline: per-k f32-vs-f64 Specialized
+# kernel pairs on a 1 GiB state, the per-gate supremacy-circuit precision
+# pair (every gate k ≤ 2), and the kmax=5 fused-vs-unfused execution pair,
+# recorded (with the derived f32/f64 and fused/separate speedups) in
+# BENCH_kernels.json. Three repetitions; benchjson keeps the fastest of
+# each, which also drops the first-touch page-fault cost of the 1 GiB
+# state allocations.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelPrecision|BenchmarkCircuitPrecision|BenchmarkKernelFusion' -benchtime 3x -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 
 # Out-of-core prefetch baseline: the circuit-aware prefetch pipeline vs the
 # reactive one-pass-per-op baseline on a 28-qubit (4 GiB state file) run,

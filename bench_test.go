@@ -14,6 +14,7 @@ import (
 	"qusim/internal/ckpt"
 	"qusim/internal/dist"
 	"qusim/internal/emulate"
+	"qusim/internal/f32vec"
 	"qusim/internal/gate"
 	"qusim/internal/kernels"
 	"qusim/internal/par"
@@ -504,6 +505,109 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 }
 
 func randRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// precState sizes the precision benchmarks: 2^26 amplitudes = 1 GiB in
+// complex128, far beyond the last-level cache, so the halved memory
+// traffic of the single-precision path is visible the way Sec. 5 predicts
+// rather than hidden by cache residency.
+const precState = 26
+
+// BenchmarkKernelPrecision records the f32-vs-f64 kernel baseline
+// (BENCH_kernels.json via make bench-kernels): the same k-qubit random
+// unitary at the same qubit positions through the double- and
+// single-precision Specialized kernels. The f32/f64 leaf pairs yield the
+// recorded speedups; bytes/op counts one read + one write of the state at
+// the respective element width, so MB/s compares traffic, not progress.
+func BenchmarkKernelPrecision(b *testing.B) {
+	for k := 1; k <= 5; k++ {
+		u := gate.RandomUnitary(k, randRNG(int64(40+k)))
+		// Mid-register positions: strands of ≥ 2^6 amplitudes, so the pair
+		// measures the steady-state sweep rather than per-block setup (the
+		// q < 3 tail has its own pairwise path and is a vanishing fraction
+		// of any real circuit's work).
+		qs := make([]int, k)
+		for i := range qs {
+			qs[i] = 6 + 3*i
+		}
+		u32 := kernels.ToComplex64(u.Data)
+		b.Run(fmt.Sprintf("k%d/f64", k), func(b *testing.B) {
+			amps := make([]complex128, 1<<precState)
+			amps[0] = 1
+			b.SetBytes(int64(len(amps) * 16 * 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.Apply(kernels.Specialized, amps, u.Data, qs, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("k%d/f32", k), func(b *testing.B) {
+			amps := make([]complex64, 1<<precState)
+			amps[0] = 1
+			b.SetBytes(int64(len(amps) * 8 * 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernels.ApplyF32(kernels.Specialized, amps, u32, qs, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkCircuitPrecision records the end-to-end precision pair on the
+// same circuit: a 24-qubit depth-25 supremacy instance (every gate k ≤ 2 —
+// dense 1-qubit gates plus T/CZ diagonals) executed gate by gate in double
+// and single precision. This is the headline f32-vs-f64 number of
+// BENCH_kernels.json; the per-kernel pairs above decompose it.
+func BenchmarkCircuitPrecision(b *testing.B) {
+	const n = 24
+	c := benchSupremacy(n, 25)
+	b.Run("supremacy24/f64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := statevec.NewUniform(n)
+			for j := range c.Gates {
+				g := &c.Gates[j]
+				v.Apply(g.Matrix(), g.Qubits...)
+			}
+		}
+	})
+	b.Run("supremacy24/f32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := f32vec.NewUniform(n)
+			for j := range c.Gates {
+				g := &c.Gates[j]
+				v.ApplyGate(g.Matrix(), g.Qubits...)
+			}
+		}
+	})
+}
+
+// BenchmarkKernelFusion records the fused-vs-unfused execution baseline
+// for the kmax = 5 scheduler (Table 1 / Sec. 3.3): the same supremacy
+// circuit executed from a clustered plan (one ≤5-qubit kernel per fused
+// cluster) and from an unclustered plan (one kernel per gate). The
+// fused/separate leaf pair yields the recorded speedup.
+func BenchmarkKernelFusion(b *testing.B) {
+	c := benchSupremacy(benchState, 25)
+	plans := map[string]*schedule.Plan{}
+	for name, clustering := range map[string]bool{"fused": true, "separate": false} {
+		opts := schedule.DefaultOptions(benchState)
+		opts.Clustering = clustering
+		plan, err := schedule.Build(c, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans[name] = plan
+	}
+	for _, name := range []string{"separate", "fused"} {
+		plan := plans[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := statevec.NewUniform(benchState)
+				if err := plan.Run(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkEmulationVsGates reproduces the related-work comparison ([7]):
 // FFT-based QFT emulation vs gate-by-gate simulation of the QFT circuit.

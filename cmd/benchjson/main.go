@@ -59,6 +59,7 @@ var pairs = map[string]string{
 	"checkpointed": "plain",
 	"enabled":      "disabled",
 	"prefetch":     "reactive",
+	"f32":          "f64",
 }
 
 func main() {

@@ -23,6 +23,7 @@ import (
 	"qusim/internal/circuit"
 	"qusim/internal/ckpt"
 	"qusim/internal/dist"
+	"qusim/internal/f32vec"
 	"qusim/internal/kernels"
 	"qusim/internal/oocvec"
 	"qusim/internal/par"
@@ -32,21 +33,23 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("circuit", "supremacy", "circuit family: supremacy, qft, ghz, bv, random")
-		qubits   = flag.Int("qubits", 20, "number of qubits")
-		depth    = flag.Int("depth", 25, "supremacy circuit depth (clock cycles after the Hadamard layer)")
-		seed     = flag.Int64("seed", 0, "random seed")
-		ranks    = flag.Int("ranks", 1, "simulated MPI ranks (power of two)")
-		kmax     = flag.Int("kmax", 4, "maximum fused-gate size")
-		baseline = flag.Bool("baseline", false, "use the per-gate scheme of [5] instead of scheduling")
-		spec1q   = flag.Bool("spec1q", false, "specialize diagonal 1-qubit gates (median-hard mode)")
-		file     = flag.String("file", "", "read circuit from file (GRCS-like text format)")
-		planFile = flag.String("plan", "", "execute a plan saved by qsched -save instead of scheduling")
-		tune     = flag.Bool("tune", false, "run the kernel autotuner first")
-		workers  = flag.Int("workers", 0, "parallel workers per rank (0 = GOMAXPROCS)")
-		shots    = flag.Int("sample", 0, "draw this many samples from the output distribution")
-		profile  = flag.Bool("profile", false, "print a per-op-kind time breakdown")
-		verbose  = flag.Bool("v", false, "print the plan summary")
+		kind      = flag.String("circuit", "supremacy", "circuit family: supremacy, qft, ghz, bv, random")
+		qubits    = flag.Int("qubits", 20, "number of qubits")
+		depth     = flag.Int("depth", 25, "supremacy circuit depth (clock cycles after the Hadamard layer)")
+		seed      = flag.Int64("seed", 0, "random seed")
+		ranks     = flag.Int("ranks", 1, "simulated MPI ranks (power of two)")
+		kmax      = flag.Int("kmax", 5, "maximum fused-gate size (clamped to local qubits)")
+		f32       = flag.Bool("f32", false, "single-precision (complex64) state vector — half the memory per amplitude, single node only")
+		baseline  = flag.Bool("baseline", false, "use the per-gate scheme of [5] instead of scheduling")
+		spec1q    = flag.Bool("spec1q", false, "specialize diagonal 1-qubit gates (median-hard mode)")
+		file      = flag.String("file", "", "read circuit from file (GRCS-like text format)")
+		planFile  = flag.String("plan", "", "execute a plan saved by qsched -save instead of scheduling")
+		tune      = flag.Bool("tune", false, "run the kernel autotuner first")
+		tuneCache = flag.String("tune-cache", "", "with -tune: persist autotuner selections to this JSON file; a warm cache skips the benchmark sweep")
+		workers   = flag.Int("workers", 0, "parallel workers per rank (0 = GOMAXPROCS)")
+		shots     = flag.Int("sample", 0, "draw this many samples from the output distribution")
+		profile   = flag.Bool("profile", false, "print a per-op-kind time breakdown")
+		verbose   = flag.Bool("v", false, "print the plan summary")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "commit crash-consistent snapshots into this directory at stage boundaries")
 		ckptEvery = flag.Int("checkpoint-every", 1, "snapshot every N completed stages")
@@ -84,13 +87,41 @@ func main() {
 		fatal(fmt.Errorf("ranks must be a power of two, got %d", *ranks))
 	}
 	if *tune {
-		fmt.Println("autotuning kernels...")
-		res := kernels.Tune(5, 20, 2)
+		var res kernels.TuneResult
+		if *tuneCache != "" {
+			cached, hit, terr := kernels.TuneCached(*tuneCache, 5, 20, 2)
+			if terr != nil {
+				fmt.Fprintf(os.Stderr, "qsim: tuner cache: %v\n", terr)
+			}
+			if hit {
+				fmt.Printf("autotuner: cache hit (%s), skipping benchmark sweep\n", *tuneCache)
+			} else {
+				fmt.Printf("autotuning kernels (cache -> %s)...\n", *tuneCache)
+			}
+			res = cached
+		} else {
+			fmt.Println("autotuning kernels...")
+			res = kernels.Tune(5, 20, 2)
+		}
 		for _, t := range res.Timings {
 			if t.Best {
-				fmt.Printf("  k=%d -> %s (%.2f ms/sweep)\n", t.K, t.Variant, t.NsPerApply/1e6)
+				prec := "f64"
+				if t.F32 {
+					prec = "f32"
+				}
+				fmt.Printf("  k=%d %s %s-stride -> %s (%.2f ms/sweep)\n",
+					t.K, prec, t.Stride, t.Variant, t.NsPerApply/1e6)
 			}
 		}
+	}
+
+	if *f32 {
+		if *ranks != 1 || *baseline || *ooc {
+			fatal(fmt.Errorf("-f32 runs single-node in memory (not with -ranks > 1, -baseline or -ooc)"))
+		}
+		runF32(circ, *kmax, *spec1q, *planFile, *verbose)
+		flushTelemetry(tel, *traceFile, *metrics)
+		return
 	}
 
 	if *ooc {
@@ -130,7 +161,7 @@ func main() {
 	} else {
 		g := bits.TrailingZeros(uint(*ranks))
 		opts := schedule.DefaultOptions(circ.N - g)
-		opts.KMax = *kmax
+		opts.KMax = clampKMax(*kmax, circ.N-g)
 		opts.SpecializeDiagonal1Q = *spec1q
 		var err error
 		plan, err = schedule.Build(circ, opts)
@@ -247,7 +278,7 @@ func runOutOfCore(circ *circuit.Circuit, tel *telemetry.Telemetry, o oocOptions)
 		}
 	} else {
 		opts := schedule.DefaultOptions(l)
-		opts.KMax = o.kmax
+		opts.KMax = clampKMax(o.kmax, l)
 		opts.SpecializeDiagonal1Q = o.spec1q
 		var err error
 		plan, err = schedule.Build(circ, opts)
@@ -315,6 +346,60 @@ func runOutOfCore(circ *circuit.Circuit, tel *telemetry.Telemetry, o oocOptions)
 		}
 		fmt.Printf("ckpt:    %d snapshots committed, %s\n", written, resumedFrom)
 	}
+}
+
+// clampKMax bounds the -kmax flag by the local-qubit count so small runs
+// still validate.
+func clampKMax(kmax, l int) int {
+	if kmax > l {
+		return l
+	}
+	return kmax
+}
+
+// runF32 executes the circuit on the single-precision in-memory state — the
+// paper's Sec. 5 outlook (half the bytes per amplitude, one more qubit in
+// the same memory) — through the fused single-node schedule.
+func runF32(circ *circuit.Circuit, kmax int, spec1q bool, planFile string, verbose bool) {
+	var plan *schedule.Plan
+	if planFile != "" {
+		f, err := os.Open(planFile)
+		if err != nil {
+			fatal(err)
+		}
+		var perr error
+		plan, perr = schedule.ReadPlan(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+	} else {
+		opts := schedule.DefaultOptions(circ.N)
+		opts.KMax = clampKMax(kmax, circ.N)
+		opts.SpecializeDiagonal1Q = spec1q
+		var err error
+		plan, err = schedule.Build(circ, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if verbose {
+		fmt.Print(plan.Summary())
+	}
+	v := f32vec.NewUniform(circ.N)
+	start := time.Now()
+	if err := v.RunPlan(plan); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("circuit: %d qubits, %d gates\n", circ.N, len(circ.Gates))
+	fmt.Printf("f32:     2^%d complex64 amplitudes, %.1f MB (%.1f MB in double precision)\n",
+		circ.N, float64(uint64(f32vec.BytesPerAmplitude)<<circ.N)/1e6, float64(uint64(16)<<circ.N)/1e6)
+	fmt.Printf("plan:    %d stages, %d swaps, %d clusters (%.1f gates/cluster), %d diag ops\n",
+		plan.Stats.Stages, plan.Stats.Swaps, plan.Stats.Clusters,
+		plan.Stats.GatesPerCluster, plan.Stats.DiagonalOps)
+	fmt.Printf("result:  norm=%.7f entropy=%.6f nats\n", v.Norm(), v.Entropy())
+	fmt.Printf("time:    %.3fs total\n", elapsed.Seconds())
 }
 
 func buildCircuit(kind string, qubits, depth int, seed int64, file string) (*circuit.Circuit, error) {

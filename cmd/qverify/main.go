@@ -30,6 +30,7 @@ func main() {
 		gates    = flag.Int("gates", 0, "gates per random circuit (0 = 6·qubits)")
 		seed     = flag.Int64("seed", 1, "master seed (circuits and fault plans derive from it)")
 		tol      = flag.Float64("tol", 1e-10, "max-amplitude-delta tolerance")
+		f32tol   = flag.Float64("f32-tol", 5e-4, "tolerance for the single-precision backends")
 		faults   = flag.Int("fault-circuits", 0, "circuits rerun under MPI fault injection (0 = default)")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "per-phase progress")
@@ -45,7 +46,7 @@ func main() {
 	}
 	rep, err := verify.Run(verify.Options{
 		Qubits: *qubits, Circuits: *circuits, Gates: *gates,
-		Seed: *seed, Tol: *tol, Quick: *quick,
+		Seed: *seed, Tol: *tol, F32Tol: *f32tol, Quick: *quick,
 		FaultCircuits: *faults, Log: log,
 	})
 	if err != nil {

@@ -3,13 +3,22 @@
 // qubits is feasible when using single-precision floating point numbers to
 // represent the complex amplitudes", because halving the bytes per
 // amplitude doubles the number of qubits that fit in the same memory.
+//
+// Gate application is delegated to the complex64 kernel suite in package
+// kernels (the same Naive/InPlace/Split/Specialized/Generated ladder as the
+// double-precision path), so the single-precision backend benefits from the
+// autotuner and the unrolled per-k kernels rather than a lone
+// gather/scatter loop.
 package f32vec
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 
 	"qusim/internal/gate"
+	"qusim/internal/kernels"
 	"qusim/internal/par"
 	"qusim/internal/statevec"
 )
@@ -17,25 +26,37 @@ import (
 // BytesPerAmplitude is 8 for complex64 (vs 16 for complex128).
 const BytesPerAmplitude = 8
 
-// MaxQubitsForMemory returns the largest n such that a single-precision
-// 2^n-amplitude state fits into the given memory. With the paper's 0.5 PB,
-// double precision holds 45 qubits and single precision 46.
+// MaxQubitsForMemory returns the largest n such that a 2^n-amplitude state
+// fits into the given memory. With the paper's 0.5 PB, double precision
+// holds 45 qubits and single precision 46 (Sec. 5). The computation is
+// exact integer bit arithmetic — the old math.Pow loop accumulated rounding
+// on the repeated power evaluation and walked 2^n one step at a time.
 func MaxQubitsForMemory(bytes float64, single bool) int {
-	per := 16.0
+	per := uint64(16)
 	if single {
 		per = BytesPerAmplitude
 	}
-	n := 0
-	for math.Pow(2, float64(n+1))*per <= bytes {
-		n++
+	// Fewer than two amplitudes (also NaN / negative input) holds no qubits.
+	if !(bytes >= float64(2*per)) {
+		return 0
 	}
-	return n
+	amps := bytes / float64(per)
+	if amps >= 1<<62 {
+		return 62
+	}
+	return bits.Len64(uint64(amps)) - 1
 }
 
 // Vector is an n-qubit state with complex64 amplitudes.
 type Vector struct {
 	N    int
 	Amps []complex64
+
+	// Variant selects the gate kernel implementation; the zero value is
+	// kernels.Auto (the tuned/specialized path).
+	Variant kernels.Variant
+
+	scratch []complex64 // second vector for the Naive variant, lazily made
 }
 
 // New returns |0…0⟩.
@@ -74,10 +95,8 @@ func (v *Vector) ToDouble() *statevec.Vector {
 }
 
 // Apply applies a gate matrix (given in double precision, converted once)
-// to the qubits at sorted positions qs, using the in-place gather/scatter
-// kernel.
-//
-//qusim:hot
+// to the qubits at sorted positions qs, through the tuned single-precision
+// kernel suite.
 func (v *Vector) Apply(m gate.Matrix, qs []int) {
 	k := m.K
 	if len(qs) != k {
@@ -88,51 +107,59 @@ func (v *Vector) Apply(m gate.Matrix, qs []int) {
 			panic("f32vec: positions must be sorted ascending")
 		}
 	}
-	dk := 1 << k
-	mm := make([]complex64, len(m.Data))
-	for i, a := range m.Data {
-		mm[i] = complex64(a)
+	v.applySorted(kernels.ToComplex64(m.Data), qs)
+}
+
+// ApplyGate applies m to arbitrary (possibly unsorted) qubits: the matrix is
+// pre-permuted to sorted qubit order per Sec. 3.2, and diagonal matrices
+// take the no-matvec fast path. This is the per-gate entry point the
+// differential-verification backend drives.
+func (v *Vector) ApplyGate(m gate.Matrix, qubits ...int) {
+	if len(qubits) != m.K {
+		panic(fmt.Sprintf("f32vec: %d qubits for a %d-qubit gate", len(qubits), m.K))
 	}
-	masks := make([]int, k)
-	offs := make([]int, dk)
-	for j, q := range qs {
-		masks[j] = 1<<q - 1
+	sortedQs, perm := sortPositions(qubits)
+	mm := m
+	if perm != nil {
+		mm = gate.PermuteQubits(m, perm)
 	}
-	for x := range offs {
-		o := 0
-		for j := 0; j < k; j++ {
-			if x&(1<<j) != 0 {
-				o |= 1 << qs[j]
-			}
-		}
-		offs[x] = o
+	if mm.IsDiagonal(0) {
+		kernels.ApplyDiagonalF32(v.Amps, kernels.ToComplex64(mm.Diagonal()), sortedQs)
+		return
 	}
-	amps := v.Amps
-	outer := len(amps) >> k
-	grain := 4096 >> k
-	if grain < 1 {
-		grain = 1
+	v.applySorted(kernels.ToComplex64(mm.Data), sortedQs)
+}
+
+func (v *Vector) applySorted(mm []complex64, sortedQs []int) {
+	if v.Variant == kernels.Naive && v.scratch == nil {
+		v.scratch = make([]complex64, len(v.Amps))
 	}
-	par.For(outer, grain, func(lo, hi int) {
-		tmp := make([]complex64, dk)
-		for t := lo; t < hi; t++ {
-			base := t
-			for _, msk := range masks {
-				base = ((base &^ msk) << 1) | (base & msk)
-			}
-			for x := 0; x < dk; x++ {
-				tmp[x] = amps[base+offs[x]]
-			}
-			for r := 0; r < dk; r++ {
-				row := mm[r*dk : (r+1)*dk]
-				var acc complex64
-				for c := 0; c < dk; c++ {
-					acc += row[c] * tmp[c]
-				}
-				amps[base+offs[r]] = acc
-			}
-		}
-	})
+	out := kernels.ApplyF32(v.Variant, v.Amps, mm, sortedQs, v.scratch)
+	if &out[0] != &v.Amps[0] {
+		v.scratch = v.Amps
+		v.Amps = out
+	}
+}
+
+// sortPositions returns the sorted positions and, if the input was not
+// already sorted, the permutation perm with perm[j] = rank of qubits[j].
+func sortPositions(qubits []int) ([]int, []int) {
+	if sort.IntsAreSorted(qubits) {
+		return qubits, nil
+	}
+	k := len(qubits)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return qubits[idx[a]] < qubits[idx[b]] })
+	sortedQs := make([]int, k)
+	perm := make([]int, k)
+	for rank, j := range idx {
+		sortedQs[rank] = qubits[j]
+		perm[j] = rank
+	}
+	return sortedQs, perm
 }
 
 // Norm returns Σ|α|², accumulated in float64 to limit rounding.

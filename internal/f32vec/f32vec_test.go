@@ -2,13 +2,17 @@ package f32vec
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 
 	"qusim/internal/circuit"
 	"qusim/internal/gate"
+	"qusim/internal/kernels"
 	"qusim/internal/statevec"
 )
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func TestMaxQubitsForMemory(t *testing.T) {
 	// The paper's outlook: 0.5 PB holds 45 qubits in double precision and
@@ -100,5 +104,81 @@ func TestApplyValidation(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+func TestMaxQubitsForMemoryBoundaries(t *testing.T) {
+	cases := []struct {
+		bytes  float64
+		single bool
+		want   int
+	}{
+		// Exact power-of-two boundaries around the paper's 0.5 PB figure.
+		{math.Pow(2, 49), false, 45},
+		{math.Pow(2, 49), true, 46},
+		// One amplitude short of the boundary drops a qubit.
+		{math.Pow(2, 49) - 16, false, 44},
+		{math.Pow(2, 49) - 8, true, 45},
+		// Just past a boundary does not gain one.
+		{math.Pow(2, 49) + 16, false, 45},
+		// Small sizes: two amplitudes is one qubit; less holds none.
+		{32, false, 1},
+		{31, false, 0},
+		{16, true, 1},
+		{0, false, 0},
+		{-100, false, 0},
+		{math.NaN(), false, 0},
+		// Huge inputs saturate instead of overflowing uint64.
+		{math.Pow(2, 80), false, 62},
+	}
+	for _, c := range cases {
+		if got := MaxQubitsForMemory(c.bytes, c.single); got != c.want {
+			t.Errorf("MaxQubitsForMemory(%g, %v) = %d, want %d", c.bytes, c.single, got, c.want)
+		}
+	}
+}
+
+// TestVariantsMatchDoublePrecisionDeepCircuit runs a deep random circuit
+// through every kernel variant of the single-precision backend and checks
+// the drift against the double-precision reference stays within the
+// documented tolerance.
+func TestVariantsMatchDoublePrecisionDeepCircuit(t *testing.T) {
+	n := 9
+	r, c := circuit.GridForQubits(n)
+	circ := circuit.Supremacy(circuit.SupremacyOptions{Rows: r, Cols: c, Depth: 24, Seed: 11})
+	d := statevec.New(n)
+	for i := range circ.Gates {
+		g := &circ.Gates[i]
+		d.Apply(g.Matrix(), g.Qubits...)
+	}
+	for _, v := range kernels.Variants() {
+		s := New(n)
+		s.Variant = v
+		for i := range circ.Gates {
+			g := &circ.Gates[i]
+			s.ApplyGate(g.Matrix(), g.Qubits...)
+		}
+		if diff := s.MaxDiff(d); diff > 1e-4 {
+			t.Errorf("variant %s: max diff %g vs double precision", v, diff)
+		}
+	}
+}
+
+func TestApplyGateUnsortedAndDiagonal(t *testing.T) {
+	n := 8
+	d := statevec.New(n)
+	s := New(n)
+	// Unsorted 2-qubit gate, diagonal gate, and 1-qubit gate.
+	g1 := gate.RandomUnitary(2, newTestRng(7))
+	d.Apply(g1, 5, 2)
+	s.ApplyGate(g1, 5, 2)
+	cz := gate.CZ()
+	d.Apply(cz, 6, 1)
+	s.ApplyGate(cz, 6, 1)
+	h := gate.H()
+	d.Apply(h, 3)
+	s.ApplyGate(h, 3)
+	if diff := s.MaxDiff(d); diff > 1e-5 {
+		t.Errorf("ApplyGate max diff %g", diff)
 	}
 }

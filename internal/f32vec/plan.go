@@ -3,6 +3,7 @@ package f32vec
 import (
 	"fmt"
 
+	"qusim/internal/kernels"
 	"qusim/internal/schedule"
 )
 
@@ -11,10 +12,22 @@ import (
 // is feasible when using single-precision floating point numbers" with the
 // same two-swap schedules. Swaps and permutations are exact bit
 // permutations; cluster and diagonal matrices are converted to complex64
-// per op.
+// per op. The permutation scratch slice is allocated once and reused across
+// ops rather than per OpLocalPerm/OpSwap.
 func (v *Vector) RunPlan(p *schedule.Plan) error {
 	if p.N != v.N {
 		return fmt.Errorf("f32vec: plan is for %d qubits, state has %d", p.N, v.N)
+	}
+	var perm []int // lazily allocated, reused by every permuting op
+	fullPerm := func(opPerm []int) []int {
+		if perm == nil {
+			perm = make([]int, v.N)
+		}
+		copy(perm, opPerm)
+		for q := p.L; q < p.N; q++ {
+			perm[q] = q
+		}
+		return perm
 	}
 	for i := range p.Ops {
 		op := &p.Ops[i]
@@ -22,22 +35,12 @@ func (v *Vector) RunPlan(p *schedule.Plan) error {
 		case schedule.OpCluster:
 			v.Apply(op.Matrix, op.Positions)
 		case schedule.OpDiagonal:
-			v.applyDiagonal(op.Diag, op.Positions)
+			kernels.ApplyDiagonalF32(v.Amps, kernels.ToComplex64(op.Diag), op.Positions)
 		case schedule.OpLocalPerm:
-			perm := make([]int, v.N)
-			copy(perm, op.Perm)
-			for q := p.L; q < p.N; q++ {
-				perm[q] = q
-			}
-			v.permuteBits(perm)
+			v.permuteBits(fullPerm(op.Perm))
 		case schedule.OpSwap:
 			if op.Perm != nil {
-				perm := make([]int, v.N)
-				copy(perm, op.Perm)
-				for q := p.L; q < p.N; q++ {
-					perm[q] = q
-				}
-				v.permuteBits(perm)
+				v.permuteBits(fullPerm(op.Perm))
 			}
 			for j := range op.LocalPos {
 				v.swapBits(op.LocalPos[j], op.GlobalPos[j])
@@ -47,21 +50,6 @@ func (v *Vector) RunPlan(p *schedule.Plan) error {
 		}
 	}
 	return nil
-}
-
-func (v *Vector) applyDiagonal(d []complex128, qs []int) {
-	k := len(qs)
-	dd := make([]complex64, len(d))
-	for i, x := range d {
-		dd[i] = complex64(x)
-	}
-	for i := range v.Amps {
-		x := 0
-		for j := 0; j < k; j++ {
-			x |= (i >> qs[j] & 1) << j
-		}
-		v.Amps[i] *= dd[x]
-	}
 }
 
 func (v *Vector) swapBits(a, b int) {

@@ -24,26 +24,38 @@ func tuner(w io.Writer, cfg Config) error {
 	}
 	header(w, fmt.Sprintf("kernel autotuning on this host (2^%d amplitudes)", n))
 	res := kernels.Tune(5, n, reps)
-	t := newTable(w)
-	hdr := []any{"k"}
-	for _, v := range kernels.Variants() {
-		hdr = append(hdr, v.String()+" [ms]")
-	}
-	hdr = append(hdr, "selected")
-	t.row(hdr...)
-	for k := 1; k <= 5; k++ {
-		row := []any{k}
+	// The sweep times both precisions and, on states this large, both
+	// stride classes; the tables report the cache-local (low-stride)
+	// timings per precision, the selection column shows low/high winners.
+	for _, f32 := range []bool{false, true} {
+		label := "double precision (complex128)"
+		if f32 {
+			label = "single precision (complex64)"
+		}
+		fmt.Fprintf(w, "\n%s:\n", label)
+		t := newTable(w)
+		hdr := []any{"k"}
 		for _, v := range kernels.Variants() {
-			for _, tm := range res.Timings {
-				if tm.K == k && tm.Variant == v {
-					row = append(row, fmt.Sprintf("%.2f", tm.NsPerApply/1e6))
+			hdr = append(hdr, v.String()+" [ms]")
+		}
+		hdr = append(hdr, "selected low/high")
+		t.row(hdr...)
+		for k := 1; k <= 5; k++ {
+			row := []any{k}
+			for _, v := range kernels.Variants() {
+				for _, tm := range res.Timings {
+					if tm.K == k && tm.Variant == v && tm.F32 == f32 && tm.Stride == kernels.StrideLow {
+						row = append(row, fmt.Sprintf("%.2f", tm.NsPerApply/1e6))
+					}
 				}
 			}
+			row = append(row, fmt.Sprintf("%s/%s",
+				kernels.SelectedFor(k, kernels.StrideLow, f32),
+				kernels.SelectedFor(k, kernels.StrideHigh, f32)))
+			t.row(row...)
 		}
-		row = append(row, kernels.Selected(k).String())
-		t.row(row...)
+		t.flush()
 	}
-	t.flush()
 	blk := kernels.TuneSplitBlock(4, n, reps)
 	fmt.Fprintf(w, "\nsplit-kernel column block size (register blocking B): %d\n", blk)
 	note(w, "the paper's Python generator + benchmark loop picks kernels per target machine; here the same loop picks among the Go variants (incl. cmd/kernelgen output)")

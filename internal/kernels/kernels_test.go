@@ -250,8 +250,11 @@ func TestApplyPanicsOnBadArgs(t *testing.T) {
 
 func TestTuneSelectsSomething(t *testing.T) {
 	res := Tune(3, 10, 1)
-	if len(res.Timings) != 3*len(Variants()) {
-		t.Fatalf("got %d timings, want %d", len(res.Timings), 3*len(Variants()))
+	// n=10 keeps every position cache-local, so Tune sweeps one qubit set
+	// per k, in both precisions.
+	want := 3 * 2 * len(Variants())
+	if len(res.Timings) != want {
+		t.Fatalf("got %d timings, want %d", len(res.Timings), want)
 	}
 	for k := 1; k <= 3; k++ {
 		v := Selected(k)

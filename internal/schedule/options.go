@@ -98,12 +98,22 @@ type Options struct {
 
 // DefaultOptions returns the configuration the paper's results use:
 // greedy swap search, CZ specialization, worst-case dense single-qubit
-// gates, clustering with kmax = 4, boundary adjustment and heuristic
-// mapping.
+// gates, clustering with kmax = 5 (the largest fused-gate size Table 1
+// evaluates, matching the k ≤ 5 specialized kernels), boundary adjustment
+// and heuristic mapping. KMax is clamped to localQubits so tiny local
+// windows still validate.
 func DefaultOptions(localQubits int) Options {
+	kmax := 5
+	if localQubits >= 1 && localQubits < kmax {
+		// A cluster cannot span more qubits than are resident; keep the
+		// default valid for tiny local partitions. localQubits 0 is the
+		// "caller fills LocalQubits in later" sentinel and keeps the full
+		// paper default.
+		kmax = localQubits
+	}
 	return Options{
 		LocalQubits:          localQubits,
-		KMax:                 4,
+		KMax:                 kmax,
 		SpecializeDiagonal2Q: true,
 		SpecializeDiagonal1Q: false,
 		SwapPolicy:           SwapGreedy,

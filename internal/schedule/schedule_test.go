@@ -467,3 +467,40 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+func TestDefaultOptionsKMaxFive(t *testing.T) {
+	if got := DefaultOptions(12).KMax; got != 5 {
+		t.Errorf("DefaultOptions(12).KMax = %d, want 5", got)
+	}
+	// Small local windows clamp KMax so validate still accepts the options.
+	for _, l := range []int{1, 3, 4} {
+		opts := DefaultOptions(l)
+		if opts.KMax != l {
+			t.Errorf("DefaultOptions(%d).KMax = %d, want clamped to %d", l, opts.KMax, l)
+		}
+		if err := opts.validate(12); err != nil {
+			t.Errorf("DefaultOptions(%d) does not validate: %v", l, err)
+		}
+	}
+}
+
+func TestPlanEquivalenceKMaxFive(t *testing.T) {
+	c := supremacy(12, 16, 6)
+	for _, l := range []int{8, 12} {
+		plan := assertPlanEquivalent(t, c, DefaultOptions(l))
+		sawFive := false
+		for i := range plan.Ops {
+			op := &plan.Ops[i]
+			if op.Kind == OpCluster {
+				if k := len(op.Positions); k > 5 {
+					t.Fatalf("l=%d: cluster with %d > 5 qubits", l, k)
+				} else if k == 5 {
+					sawFive = true
+				}
+			}
+		}
+		if !sawFive {
+			t.Errorf("l=%d: kmax=5 plan built no 5-qubit cluster on a depth-16 circuit", l)
+		}
+	}
+}

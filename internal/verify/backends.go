@@ -8,6 +8,7 @@ import (
 
 	"qusim/internal/circuit"
 	"qusim/internal/dist"
+	"qusim/internal/f32vec"
 	"qusim/internal/kernels"
 	"qusim/internal/mpi"
 	"qusim/internal/oocvec"
@@ -320,6 +321,54 @@ func (b *baselineBackend) Run(c *circuit.Circuit) ([]complex128, error) {
 	}
 	b.events += res.FaultEvents
 	return res.Amplitudes, nil
+}
+
+// single-precision backends ---------------------------------------------------
+
+type f32Backend struct {
+	name    string
+	globals int // < 0: per-gate path; ≥ 0: scheduled at l = n − globals
+}
+
+// F32 returns the single-precision per-gate backend: every gate runs
+// through the complex64 kernel suite and the final state is widened back to
+// complex128. It joins the matrix under the separate epsilon tolerance of
+// Options.F32Tol — float32 amplitudes cannot meet the exact-path 1e-10 bar.
+func F32() Backend {
+	return &f32Backend{name: "f32vec/per-gate", globals: -1}
+}
+
+// F32Scheduled is F32 through the fused scheduler at l = n − globals —
+// the paper's Sec. 5 outlook configuration (single precision + two-swap
+// schedules).
+func F32Scheduled(globals int) Backend {
+	return &f32Backend{name: fmt.Sprintf("f32vec/fused-g%d", globals), globals: globals}
+}
+
+func (b *f32Backend) Name() string { return b.name }
+
+func (b *f32Backend) Run(c *circuit.Circuit) ([]complex128, error) {
+	if b.globals < 0 {
+		v := f32vec.New(c.N)
+		for i := range c.Gates {
+			g := &c.Gates[i]
+			v.ApplyGate(g.Matrix(), g.Qubits...)
+		}
+		return v.ToDouble().Amps, nil
+	}
+	l := c.N - b.globals
+	if l < minLocalQubits(c) {
+		return nil, ErrUnsupported
+	}
+	plan, err := schedule.Build(c, defaultScheduleOptions(l))
+	if err != nil {
+		return nil, err
+	}
+	v := f32vec.New(c.N)
+	if err := v.RunPlan(plan); err != nil {
+		return nil, err
+	}
+	return unpermute(plan, v.ToDouble().Amps), nil
 }
 
 // faultCounter is implemented by backends that run under a FaultPlan; the

@@ -49,6 +49,13 @@ type Options struct {
 	Seed int64
 	// Tol is the divergence tolerance on max-amplitude delta.
 	Tol float64
+	// F32Tol is the tolerance for the single-precision backends, which are
+	// compared in a separate epsilon-tolerant engine: float32 carries ~7
+	// decimal digits, and the deviation grows with circuit depth, so the
+	// default 5e-4 covers the harness's deepest random circuits with margin
+	// while still catching any structural bug (wrong amplitude, wrong
+	// position), which produces O(1) deltas.
+	F32Tol float64
 	// Quick trims the backend matrix and circuit count for CI.
 	Quick bool
 	// FaultCircuits is the number of circuits rerun under fault injection
@@ -79,6 +86,9 @@ func (o *Options) setDefaults() {
 	if o.Tol == 0 {
 		o.Tol = 1e-10
 	}
+	if o.F32Tol == 0 {
+		o.F32Tol = 5e-4
+	}
 	if o.FaultCircuits == 0 {
 		if o.Quick {
 			o.FaultCircuits = 3
@@ -91,6 +101,7 @@ func (o *Options) setDefaults() {
 // Report aggregates a full harness run.
 type Report struct {
 	Differential *Engine // the clean differential matrix
+	F32          *Engine // single-precision backends at the epsilon tolerance
 	Faults       *Engine // fault-injection scenarios (distributed backends)
 
 	MetamorphicRun    int
@@ -104,8 +115,8 @@ type Report struct {
 
 // Failed reports whether any layer found a violation.
 func (r *Report) Failed() bool {
-	return r.Differential.Failed() || r.Faults.Failed() ||
-		len(r.MetamorphicFailed) > 0 || r.Recovery.Failed()
+	return r.Differential.Failed() || (r.F32 != nil && r.F32.Failed()) ||
+		r.Faults.Failed() || len(r.MetamorphicFailed) > 0 || r.Recovery.Failed()
 }
 
 // Matrix returns the default backend matrix compared against the naive
@@ -136,6 +147,21 @@ func Matrix(quick bool) (ref Backend, backends []Backend) {
 		)
 	}
 	return ref, backends
+}
+
+// MatrixF32 returns the single-precision backends, compared against the
+// same naive dense reference under the epsilon tolerance Options.F32Tol.
+// They live in their own engine so a float32 rounding excursion can never
+// mask (or be masked by) an exact-path divergence.
+func MatrixF32(quick bool) []Backend {
+	backends := []Backend{
+		F32(),
+		F32Scheduled(2),
+	}
+	if !quick {
+		backends = append(backends, F32Scheduled(3))
+	}
+	return backends
 }
 
 // Run executes the full harness: differential matrix, metamorphic suite,
@@ -173,6 +199,29 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	logf("%s", strings.TrimRight(engine.Summary(), "\n"))
+
+	// Phase 1b: the single-precision backends rerun the same seeded
+	// circuits at the epsilon tolerance.
+	f32backends := MatrixF32(opts.Quick)
+	logf("phase 1b: single-precision matrix (%d backends, tol %.1e)",
+		len(f32backends), opts.F32Tol)
+	f32engine := NewEngine(ref, f32backends, opts.F32Tol)
+	rep.F32 = f32engine
+	for i := 0; i < opts.Circuits; i++ {
+		c := Random(RandomOptions{
+			Qubits: opts.Qubits, Gates: opts.Gates, Seed: opts.Seed + int64(i),
+			DenseEntanglers: i%2 == 1,
+		})
+		if err := f32engine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range Library(opts.Qubits, opts.Seed) {
+		if err := f32engine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	logf("%s", strings.TrimRight(f32engine.Summary(), "\n"))
 
 	// Phase 2: metamorphic properties.
 	props := Properties(opts.Qubits, opts.Seed)
@@ -232,6 +281,9 @@ func Run(opts Options) (*Report, error) {
 func (r *Report) String() string {
 	var b strings.Builder
 	b.WriteString(r.Differential.Summary())
+	if r.F32 != nil {
+		b.WriteString(r.F32.Summary())
+	}
 	fmt.Fprintf(&b, "metamorphic: %d/%d properties passed\n",
 		r.MetamorphicRun-len(r.MetamorphicFailed), r.MetamorphicRun)
 	for _, f := range r.MetamorphicFailed {
@@ -248,6 +300,9 @@ func (r *Report) String() string {
 		}
 	}
 	divs := append(append([]Divergence(nil), r.Differential.Divergences...), r.Faults.Divergences...)
+	if r.F32 != nil {
+		divs = append(divs, r.F32.Divergences...)
+	}
 	if len(divs) == 0 {
 		b.WriteString("RESULT: all execution paths agree\n")
 		return b.String()

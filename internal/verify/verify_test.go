@@ -202,3 +202,45 @@ func TestBaselineSkipsDenseGlobalGates(t *testing.T) {
 		t.Errorf("CZ on global qubit should be supported: %v", err)
 	}
 }
+
+func TestF32BackendsEnrolledInMatrix(t *testing.T) {
+	quick := MatrixF32(true)
+	if len(quick) < 2 {
+		t.Errorf("quick f32 matrix has %d backends, want ≥ 2 (per-gate + scheduled)", len(quick))
+	}
+	full := MatrixF32(false)
+	if len(full) <= len(quick) {
+		t.Errorf("full f32 matrix (%d) should extend the quick matrix (%d)", len(full), len(quick))
+	}
+	rep, err := Run(Options{Quick: true, Seed: 7, Qubits: 6, Circuits: 4, FaultCircuits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F32 == nil {
+		t.Fatal("harness ran no single-precision phase")
+	}
+	if rep.F32.Failed() {
+		t.Fatalf("f32 backends diverged beyond tolerance:\n%s", rep.F32.Summary())
+	}
+	if len(rep.F32.Pairs) == 0 {
+		t.Error("f32 engine compared no circuit pairs")
+	}
+	if !strings.Contains(rep.String(), "f32vec/per-gate") {
+		t.Error("report does not mention the f32 backend")
+	}
+}
+
+// TestF32EngineCatchesStructuralBug plants a deterministic bug behind the
+// single-precision backend and checks the epsilon-tolerant engine still
+// detects it: the loose tolerance must not be so loose it passes O(1)
+// structural errors.
+func TestF32EngineCatchesStructuralBug(t *testing.T) {
+	eng := NewEngine(Naive(), []Backend{&buggyBackend{inner: F32()}}, 5e-4)
+	c := Random(RandomOptions{Qubits: 5, Gates: 60, Seed: 9})
+	if err := eng.Check(c); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Failed() {
+		t.Fatal("epsilon-tolerant engine missed a sign-flip bug")
+	}
+}
