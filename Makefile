@@ -6,11 +6,11 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race verify lint lint-tools fuzz fuzz-smoke bench \
-	bench-smoke bench-permute bench-ckpt bench-telemetry bench-oocvec \
-	bench-kernels
+.PHONY: build test race verify lint lint-tools chaos-smoke fuzz \
+	fuzz-smoke bench bench-smoke bench-permute bench-ckpt bench-telemetry \
+	bench-oocvec bench-kernels
 
-# Compile every package and link all six commands into bin/, so a broken
+# Compile every package and link every command into bin/, so a broken
 # main package fails the build even though `go build ./...` discards
 # command binaries.
 build:
@@ -33,7 +33,7 @@ race:
 verify: build lint
 	$(GO) run ./cmd/qverify -quick
 
-# Domain lint (DESIGN.md §10): build qlint and run all five analyzers over
+# Domain lint (DESIGN.md §10): build qlint and run all six analyzers over
 # every package, then the pinned external linters. staticcheck/govulncheck
 # are skipped with a notice when not installed (they need the network to
 # install, which the offline dev loop may not have); `make lint-tools`
@@ -57,6 +57,15 @@ lint:
 lint-tools:
 	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# Chaos soak (DESIGN.md §13): seeded random circuits across the
+# statevec/dist/oocvec backends under composed rank, disk and stall fault
+# schedules, asserting every run lands bitwise identical to a clean one.
+# The pinned seed keeps the CI job deterministic; bump -runs (or loop over
+# seeds) for a longer local soak. A mismatch drops a ddmin-minimized
+# reproducer circuit under chaos-repro/.
+chaos-smoke:
+	$(GO) run ./cmd/qchaos -seed 1 -runs 25 -budget 60s -repro chaos-repro -v
 
 # Longer fuzz burst for the scheduler equivalence oracle.
 fuzz:

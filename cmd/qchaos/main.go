@@ -1,0 +1,376 @@
+// Command qchaos is the chaos soak driver: seeded random circuits run
+// through the distributed and out-of-core engines while a composed fault
+// schedule (chaos.Compose) degrades the run — rank crashes, payload
+// corruption, stalls, ENOSPC, torn writes, transient read errors, slow
+// I/O — and every result is compared bitwise against the same circuit run
+// clean. Graceful degradation is the contract under test: a fault may cost
+// restarts, pruned or skipped checkpoints, and resume attempts, but never
+// a wrong amplitude and never an abort.
+//
+// Schedules are op-indexed and seeded, so a failing run replays exactly
+// from its seed; on mismatch the divergence is delta-debugged down to a
+// minimal reproducer circuit and written to -repro.
+//
+// Examples:
+//
+//	qchaos -seed 1 -runs 25        # the CI smoke configuration
+//	qchaos -runs 120 -v            # longer soak with per-run schedules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qusim/internal/chaos"
+	"qusim/internal/circuit"
+	"qusim/internal/ckpt"
+	"qusim/internal/dist"
+	"qusim/internal/oocvec"
+	"qusim/internal/schedule"
+	"qusim/internal/verify"
+)
+
+// coverage counts injected faults per class, summed over both chaos legs.
+type coverage [chaos.NumClasses]int64
+
+func (c *coverage) add(o *coverage) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+func (c *coverage) String() string {
+	out := ""
+	for i := chaos.Class(0); i < chaos.NumClasses; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", i, c[i])
+	}
+	return out
+}
+
+// harvestSchedule folds a schedule's fired transport faults and an
+// injecting FS's disk-fault stats into cov.
+func harvestSchedule(cov *coverage, s *chaos.Schedule, fss ...*chaos.FS) {
+	if mp := s.MPI; mp != nil {
+		if mp.Crash != nil && mp.Crash.Fired() {
+			cov[chaos.Crash]++
+		}
+		if mp.Corrupt != nil && mp.Corrupt.Fired() {
+			cov[chaos.Corrupt]++
+		}
+		if mp.Stall != nil && mp.Stall.Fired() {
+			cov[chaos.Stall]++
+		}
+	}
+	for _, fs := range fss {
+		st := fs.Stats()
+		cov[chaos.NoSpace] += st.NoSpace
+		cov[chaos.TornWrite] += st.TornWrites
+		cov[chaos.ReadError] += st.ReadErrors
+		cov[chaos.SlowIO] += st.Slowdowns
+	}
+}
+
+// scheduleOptions builds the plan options for l local qubits (the same
+// clamp the verify backends apply).
+func scheduleOptions(l int) schedule.Options {
+	o := schedule.DefaultOptions(l)
+	if o.KMax > l {
+		o.KMax = l
+	}
+	return o
+}
+
+// chaosDist is the distributed chaos leg: dist.Run with the schedule's
+// transport faults armed, checkpointed recovery on, and the disk faults
+// injected under the checkpoint layer. Each Run call composes a fresh
+// schedule from (seed, run) — fire-once fault state included — so the
+// delta-debugging minimizer replays the identical degradation on every
+// candidate circuit.
+type chaosDist struct {
+	seed  int64
+	ranks int
+	copts chaos.ComposeOptions
+	run   int // set by the driver before each soak iteration
+
+	cov      coverage
+	restarts [3]int // corrupt, rank-dead, stalled
+	written  int
+	skipped  int
+	resumes  int // extra dist.Run invocations past the first
+}
+
+func (b *chaosDist) Name() string { return fmt.Sprintf("dist/ranks%d+chaos", b.ranks) }
+
+func (b *chaosDist) Run(c *circuit.Circuit) ([]complex128, error) {
+	g := bits.TrailingZeros(uint(b.ranks))
+	l := c.N - g
+	if l < 1 {
+		return nil, verify.ErrUnsupported
+	}
+	plan, err := schedule.Build(c, scheduleOptions(l))
+	if err != nil {
+		return nil, err
+	}
+	sched := chaos.Compose(b.seed, b.run, b.copts)
+	cfs := chaos.NewFS(sched.Disk, nil)
+	restore := ckpt.SetFS(cfs)
+	defer ckpt.SetFS(restore)
+
+	dir, err := os.MkdirTemp("", "qchaos-dist-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var res *dist.Result
+	var runErr error
+	// Outer resume loop: a transient read window hitting the snapshot scan
+	// ends dist.Run's internal attempt chain (the scan error is not a
+	// transport fault), but the directory still holds valid snapshots — a
+	// fresh run with Resume continues from them once the window passes.
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			b.resumes++
+		}
+		res, runErr = dist.Run(plan, dist.Options{
+			Ranks:        b.ranks,
+			GatherState:  true,
+			Faults:       sched.MPI,
+			Checkpoint:   &ckpt.Policy{Dir: dir, EveryStages: 1, MaxRestarts: 8},
+			Resume:       attempt > 0,
+			CommDeadline: 400 * time.Millisecond,
+			Retry: &dist.RetryPolicy{
+				BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond,
+				Deadline: 20 * time.Second, Seed: b.seed*1000 + int64(b.run),
+			},
+		})
+		if runErr == nil {
+			break
+		}
+	}
+	harvestSchedule(&b.cov, sched, cfs)
+	if res != nil {
+		b.restarts[0] += res.RestartsCorrupt
+		b.restarts[1] += res.RestartsRankDead
+		b.restarts[2] += res.RestartsStalled
+		b.written += res.CheckpointsWritten
+		b.skipped += res.CheckpointsSkipped
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("chaos dist leg under %s: %w", sched, runErr)
+	}
+	return verify.Unpermute(plan, res.Amplitudes), nil
+}
+
+// chaosOoc is the out-of-core chaos leg: RunCheckpointed with the disk
+// faults injected under both the backing-file data path and the checkpoint
+// layer, plus an abort-resume loop — a fault window that outlasts the
+// engine's bounded retries surfaces, and the next attempt resumes from the
+// newest valid snapshot.
+//
+// Torn writes are scoped to the checkpoint layer only: shard CRCs detect a
+// lying write there, while the backing file is transient working state
+// with no redundancy to catch one (a crash restarts from a snapshot, never
+// from the backing file).
+type chaosOoc struct {
+	seed              int64
+	globals, prefetch int
+	copts             chaos.ComposeOptions
+	run               int
+
+	cov     coverage
+	skipped int
+	resumes int
+}
+
+func (b *chaosOoc) Name() string { return fmt.Sprintf("oocvec/g%d+chaos", b.globals) }
+
+func (b *chaosOoc) Run(c *circuit.Circuit) ([]complex128, error) {
+	l := c.N - b.globals
+	if l < 1 {
+		return nil, verify.ErrUnsupported
+	}
+	plan, err := schedule.Build(c, scheduleOptions(l))
+	if err != nil {
+		return nil, err
+	}
+	sched := chaos.Compose(b.seed, b.run, b.copts)
+	dataDisk := sched.Disk
+	dataDisk.TornWriteAt = 0
+	dfs := chaos.NewFS(dataDisk, nil)
+	cfs := chaos.NewFS(sched.Disk, nil)
+	restoreOoc := oocvec.SetFS(dfs)
+	defer oocvec.SetFS(restoreOoc)
+	restoreCkpt := ckpt.SetFS(cfs)
+	defer ckpt.SetFS(restoreCkpt)
+
+	dir, err := os.MkdirTemp("", "qchaos-ooc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	pol := &ckpt.Policy{Dir: dir, EveryStages: 1}
+
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			b.resumes++
+		}
+		// A fresh vector per attempt: New initializes |0…0⟩, and the
+		// resume pass restores the newest snapshot over it (or re-executes
+		// from the start when none survived). The shared FS op counters
+		// keep advancing across attempts, so a fault window always passes.
+		v, verr := oocvec.New(c.N, l, "")
+		if verr != nil {
+			lastErr = verr
+			continue
+		}
+		v.SetPrefetch(b.prefetch)
+		_, _, rerr := v.RunCheckpointed(plan, pol, attempt > 0)
+		if rerr != nil {
+			lastErr = rerr
+			v.Close()
+			continue
+		}
+		amps, aerr := v.Amplitudes()
+		b.skipped += v.CheckpointsSkipped()
+		v.Close()
+		if aerr != nil {
+			lastErr = aerr
+			continue
+		}
+		harvestSchedule(&b.cov, sched, dfs, cfs)
+		return verify.Unpermute(plan, amps), nil
+	}
+	harvestSchedule(&b.cov, sched, dfs, cfs)
+	return nil, fmt.Errorf("chaos ooc leg under %s: %w", sched, lastErr)
+}
+
+// writeRepro drops a reproducer file into dir (no-op when dir is empty)
+// and returns its path.
+func writeRepro(dir, name, content string) string {
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "qchaos: repro dir:", err)
+		return ""
+	}
+	path := filepath.Join(dir, name)
+	//qlint:ignore atomicrename a reproducer report for a human, not durability data — a torn repro file cannot corrupt any run
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "qchaos: writing reproducer:", err)
+		return ""
+	}
+	return path
+}
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "master seed (circuits and fault schedules derive from it)")
+		runs   = flag.Int("runs", 25, "soak iterations; run r arms primary fault class r mod 6")
+		qubits = flag.Int("qubits", 6, "qubits per generated circuit")
+		gates  = flag.Int("gates", 30, "gates per generated circuit")
+		ranks  = flag.Int("ranks", 4, "simulated MPI ranks for the distributed leg")
+		budget = flag.Duration("budget", 0, "wall-clock budget; exceeding it fails the soak (0 = none)")
+		repro  = flag.String("repro", "", "directory for reproducer files on failure")
+		vflag  = flag.Bool("v", false, "per-run schedules and engine summaries")
+	)
+	flag.Parse()
+	start := time.Now()
+
+	copts := chaos.ComposeOptions{Ranks: *ranks}
+	cleanDist := verify.Distributed(*ranks)
+	cleanOoc := verify.OutOfCore(2, 2)
+	chDist := &chaosDist{seed: *seed, ranks: *ranks, copts: copts}
+	chOoc := &chaosOoc{seed: *seed, globals: 2, prefetch: 2, copts: copts}
+
+	// Bitwise engines: the chaos leg must reproduce its clean twin exactly
+	// (tol 0). The anchor engine pins the clean twins themselves against
+	// the dense naive reference at numerical tolerance, so a systematic
+	// error in a twin cannot silently validate the chaos leg.
+	distEng := verify.NewEngine(cleanDist, []verify.Backend{chDist}, 0)
+	oocEng := verify.NewEngine(cleanOoc, []verify.Backend{chOoc}, 0)
+	anchorEng := verify.NewEngine(verify.Naive(), []verify.Backend{cleanDist, cleanOoc}, 1e-10)
+
+	type failure struct {
+		run  int
+		what string
+	}
+	var failures []failure
+	done := 0
+	for r := 0; r < *runs; r++ {
+		if *budget > 0 && time.Since(start) > *budget {
+			failures = append(failures, failure{r, fmt.Sprintf("budget %v exhausted after %d/%d runs", *budget, done, *runs)})
+			break
+		}
+		c := verify.Random(verify.RandomOptions{
+			Seed: *seed*101 + int64(r), Qubits: *qubits, Gates: *gates,
+		})
+		chDist.run, chOoc.run = r, r
+		if *vflag {
+			fmt.Printf("run %2d: %s  %s\n", r, c.Name, chaos.Compose(*seed, r, copts))
+		}
+		for _, eng := range []*verify.Engine{distEng, oocEng, anchorEng} {
+			if err := eng.Check(c); err != nil {
+				failures = append(failures, failure{r, err.Error()})
+				path := writeRepro(*repro, fmt.Sprintf("run%03d-harness.txt", r),
+					fmt.Sprintf("# %v\n# %s\n%s", err, chaos.Compose(*seed, r, copts), verify.CircuitText(c)))
+				if path != "" {
+					fmt.Fprintln(os.Stderr, "qchaos: reproducer at", path)
+				}
+			}
+		}
+		done++
+	}
+
+	var cov coverage
+	cov.add(&chDist.cov)
+	cov.add(&chOoc.cov)
+
+	fmt.Printf("qchaos: %d/%d runs, seed %d, %v elapsed\n", done, *runs, *seed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  injected: %s\n", cov.String())
+	fmt.Printf("  dist: restarts corrupt=%d rank-dead=%d stalled=%d, ckpts written=%d skipped=%d, resumes=%d\n",
+		chDist.restarts[0], chDist.restarts[1], chDist.restarts[2], chDist.written, chDist.skipped, chDist.resumes)
+	fmt.Printf("  ooc:  resumes=%d ckpts skipped=%d\n", chOoc.resumes, chOoc.skipped)
+	if *vflag {
+		fmt.Print(distEng.Summary(), oocEng.Summary(), anchorEng.Summary())
+	}
+
+	ok := true
+	for _, eng := range []*verify.Engine{distEng, oocEng, anchorEng} {
+		for i, d := range eng.Divergences {
+			ok = false
+			fmt.Printf("MISMATCH %s on %s: maxΔ=%.3e (%d-gate reproducer)\n",
+				d.Backend, d.Circuit, d.MaxDelta, d.ReproducerGates)
+			path := writeRepro(*repro, fmt.Sprintf("divergence%03d-%s.txt", i, d.Backend),
+				fmt.Sprintf("# %s diverged on %s, maxΔ=%.3e\n%s", d.Backend, d.Circuit, d.MaxDelta, d.Reproducer))
+			if path != "" {
+				fmt.Println("  reproducer at", path)
+			}
+		}
+	}
+	for _, f := range failures {
+		ok = false
+		fmt.Printf("FAILURE run %d: %s\n", f.run, f.what)
+	}
+	// Coverage gate: a soak that never injected a class proves nothing
+	// about it. SlowIO is a rider (latency, not failure) and exempt.
+	for _, cl := range []chaos.Class{chaos.Crash, chaos.Corrupt, chaos.Stall, chaos.NoSpace, chaos.TornWrite, chaos.ReadError} {
+		if cov[cl] == 0 {
+			ok = false
+			fmt.Printf("COVERAGE: fault class %s was never injected\n", cl)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("PASS: all chaos runs bitwise identical to clean runs")
+}

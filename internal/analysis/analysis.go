@@ -88,6 +88,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicRename,
 		CollectiveOrder,
+		FSOps,
 		GlobalCleanup,
 		HotAlloc,
 		NilSafeTelemetry,

@@ -137,6 +137,7 @@ func runCorpus(t *testing.T, analyzerName string) {
 
 func TestCollectiveOrderCorpus(t *testing.T)  { runCorpus(t, "collectiveorder") }
 func TestAtomicRenameCorpus(t *testing.T)     { runCorpus(t, "atomicrename") }
+func TestFSOpsCorpus(t *testing.T)            { runCorpus(t, "fsops") }
 func TestNilSafeTelemetryCorpus(t *testing.T) { runCorpus(t, "nilsafetelemetry") }
 func TestGlobalCleanupCorpus(t *testing.T)    { runCorpus(t, "globalcleanup") }
 func TestHotAllocCorpus(t *testing.T)         { runCorpus(t, "hotalloc") }
@@ -153,7 +154,7 @@ func TestDirectiveDiagnostics(t *testing.T) {
 	}
 	expects := []expect{
 		{12, `^qlint: qlint:ignore needs an analyzer name and a reason$`},
-		{18, `^qlint: qlint:ignore names unknown analyzer gofmtcheck \(have atomicrename, collectiveorder, globalcleanup, hotalloc, nilsafetelemetry\)$`},
+		{18, `^qlint: qlint:ignore names unknown analyzer gofmtcheck \(have atomicrename, collectiveorder, fsops, globalcleanup, hotalloc, nilsafetelemetry\)$`},
 		{25, `^qlint: qlint:ignore globalcleanup needs a reason \(why does the invariant not apply here\?\)$`},
 	}
 	if len(diags) != len(expects) {

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// FSOps enforces the file-ops seam (DESIGN.md §13): a package that wires
+// its I/O through internal/fsio must route every data-path file operation
+// through its installed fsio.FS. A direct os call is invisible to the
+// chaos disk-fault injector — the operation can neither be degraded
+// (ENOSPC, torn write, transient read error) nor counted, so the
+// robustness the soak certifies silently stops covering it. The same
+// bypass also skips layer policies attached to the seam, like ckpt's
+// prune-failure accounting on Remove.
+//
+// Only data-path entry points are banned; os.MkdirAll and directory
+// bookkeeping stay allowed (the injector passes them through untouched),
+// and test files are exempt — asserting on-disk bytes with os.ReadFile is
+// exactly what tests should do. internal/fsio itself is exempt: its OS
+// implementation is the one sanctioned delegation to the os package.
+var FSOps = &Analyzer{
+	Name: "fsops",
+	Doc: "packages on the fsio seam must not call os file operations directly; " +
+		"a bypassing call is invisible to chaos fault injection and seam-level accounting",
+	Run: runFSOps,
+}
+
+// fsOpsBanned are the os entry points the seam replaces (or that bypass a
+// replaced one, like os.WriteFile bypassing CreateTemp+Write+Rename).
+var fsOpsBanned = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"Open":       true,
+	"OpenFile":   true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+	"Rename":     true,
+	"Remove":     true,
+}
+
+func runFSOps(pass *Pass) {
+	if !unitImports(pass.Pkg, fsioPath) {
+		return
+	}
+	if p := pass.Pkg.Path(); p == fsioPath || p == fsioPath+"_test" {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		eachFuncBody(f, func(_ *ast.CommentGroup, _ string, body *ast.BlockStmt) {
+			walkBody(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !fsOpsBanned[fn.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"os.%s bypasses the fsio seam this package runs on: go through the installed fsio.FS so chaos fault injection and seam accounting see the operation",
+					fn.Name())
+				return true
+			})
+		})
+	}
+}

@@ -17,7 +17,7 @@ import (
 var GlobalCleanup = &Analyzer{
 	Name: "globalcleanup",
 	Doc: "tests mutating process globals (par.SetWorkers, par.SetTelemetry, ckpt.SetTelemetry, " +
-		"kernels.SetSelected, kernels.SetSplitBlock) must restore them via t.Cleanup or defer",
+		"ckpt.SetFS, oocvec.SetFS, kernels.SetSelected, kernels.SetSplitBlock) must restore them via t.Cleanup or defer",
 	Run: runGlobalCleanup,
 }
 
@@ -25,7 +25,8 @@ var GlobalCleanup = &Analyzer{
 // path then function name.
 var globalSetters = map[string]map[string]bool{
 	parPath:     {"SetWorkers": true, "SetTelemetry": true},
-	ckptPath:    {"SetTelemetry": true},
+	ckptPath:    {"SetTelemetry": true, "SetFS": true},
+	oocvecPath:  {"SetFS": true},
 	kernelsPath: {"SetSelected": true, "SetSplitBlock": true},
 }
 

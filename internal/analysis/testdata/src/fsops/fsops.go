@@ -1,0 +1,62 @@
+// Package fsops is the analysistest corpus for the fsops analyzer. It
+// imports internal/fsio, which is what puts the package on the seam and
+// arms the check: every data-path file operation must go through an
+// fsio.FS so chaos fault injection and seam accounting see it.
+package fsops
+
+import (
+	"os"
+
+	"qusim/internal/fsio"
+)
+
+// seam is the fixture's installed file-ops implementation; holding (and
+// using) one is the sanctioned way to touch the filesystem here.
+var seam fsio.FS = fsio.OS{}
+
+// readThroughSeam is the correct idiom: the operation flows through the
+// installed FS, so an injected fault schedule can see and degrade it.
+func readThroughSeam(path string) ([]byte, error) {
+	return seam.ReadFile(path)
+}
+
+// readBypassingSeam is the bug the analyzer exists for: the read is
+// invisible to chaos injection, so fault coverage silently shrinks.
+func readBypassingSeam(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `fsops: os\.ReadFile bypasses the fsio seam`
+}
+
+// removeBypassingSeam also skips seam-level accounting (ckpt counts prune
+// failures on its FS.Remove, for example).
+func removeBypassingSeam(path string) error {
+	return os.Remove(path) // want `fsops: os\.Remove bypasses the fsio seam`
+}
+
+// stageBypassingSeam hides the whole write family from injection in one
+// call, including the rename ENOSPC/torn-write failpoints.
+func stageBypassingSeam(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "shard-*.tmp") // want `fsops: os\.CreateTemp bypasses the fsio seam`
+}
+
+// renameInClosure checks that closures are walked too: deferred cleanup
+// paths are exactly where bypasses like to hide.
+func renameInClosure(tmp, final string) func() error {
+	return func() error {
+		return os.Rename(tmp, final) // want `fsops: os\.Rename bypasses the fsio seam`
+	}
+}
+
+// mkdirStaysAllowed: directory bookkeeping is not a data-path operation —
+// the injector passes MkdirAll through untouched, so calling os directly
+// loses nothing.
+func mkdirStaysAllowed(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+// exportReport exercises the function-scoped suppression path for output
+// that is genuinely outside the fault model.
+//
+//qlint:ignore fsops fixture: a human-readable report for the operator, not data any run reads back
+func exportReport(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}

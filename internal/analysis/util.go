@@ -13,6 +13,8 @@ const (
 	telemetryPath = "qusim/internal/telemetry"
 	parPath       = "qusim/internal/par"
 	kernelsPath   = "qusim/internal/kernels"
+	fsioPath      = "qusim/internal/fsio"
+	oocvecPath    = "qusim/internal/oocvec"
 )
 
 // calleeFunc resolves the function or method a call expression invokes,

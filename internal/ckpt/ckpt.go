@@ -36,11 +36,12 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
+
+	"qusim/internal/fsio"
 )
 
 // Version is the on-disk format version. Readers reject any other value.
@@ -149,8 +150,8 @@ func (p *Policy) Restarts() int {
 //
 //qusim:commit-helper
 func commitTemp(dir, tmp, final string) error {
-	if err := os.Rename(tmp, filepath.Join(dir, final)); err != nil {
-		os.Remove(tmp)
+	if err := fsys().Rename(tmp, filepath.Join(dir, final)); err != nil {
+		fsys().Remove(tmp)
 		return err
 	}
 	syncDir(dir)
@@ -183,7 +184,7 @@ const maxHeaderLen = 1 << 20
 // becomes visible under its final name only on Close, after an fsync — a
 // crash mid-write leaves a temp file recovery ignores.
 type ShardWriter struct {
-	f      *os.File
+	f      fsio.File
 	bw     *bufio.Writer
 	crc    uint32
 	dir    string
@@ -201,11 +202,11 @@ func NewShardWriter(dir string, meta Meta, rank, amps int) (*ShardWriter, error)
 	if rank < 0 || rank >= meta.Ranks {
 		return nil, fmt.Errorf("ckpt: shard rank %d out of range for %d ranks", rank, meta.Ranks)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys().MkdirAll(dir); err != nil {
 		return nil, err
 	}
 	final := shardName(meta.NextStage, rank)
-	f, err := os.CreateTemp(dir, ".tmp-"+final+"-*")
+	f, err := fsys().CreateTemp(dir, ".tmp-"+final+"-*")
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +291,7 @@ func (sw *ShardWriter) Close() (ShardInfo, error) {
 	}
 	tmp := sw.f.Name()
 	if err := sw.f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys().Remove(tmp)
 		sw.closed = true
 		return ShardInfo{}, err
 	}
@@ -310,7 +311,7 @@ func (sw *ShardWriter) Abort() {
 	sw.closed = true
 	name := sw.f.Name()
 	sw.f.Close()
-	os.Remove(name)
+	fsys().Remove(name)
 }
 
 func rankFromName(name string) int {
@@ -338,7 +339,7 @@ func WriteShard(dir string, meta Meta, rank int, amps []complex128) (ShardInfo, 
 // CRC (and the manifest's recorded checksum) on Close. The header is
 // validated against the manifest before any payload is handed out.
 type ShardReader struct {
-	f    *os.File
+	f    fsio.File
 	br   *bufio.Reader
 	crc  uint32
 	info ShardInfo
@@ -354,7 +355,7 @@ func OpenShard(dir string, m *Manifest, rank int) (*ShardReader, error) {
 		return nil, fmt.Errorf("%w: no shard for rank %d", ErrInvalid, rank)
 	}
 	info := m.Shards[rank]
-	f, err := os.Open(filepath.Join(dir, info.File))
+	f, err := fsys().Open(filepath.Join(dir, info.File))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
@@ -528,23 +529,23 @@ func Commit(dir string, meta Meta, shards []ShardInfo, keep int) (*Manifest, err
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.CreateTemp(dir, ".tmp-manifest-*")
+	f, err := fsys().CreateTemp(dir, ".tmp-manifest-*")
 	if err != nil {
 		return nil, err
 	}
 	tmp := f.Name()
 	if _, err := f.Write(append(blob, '\n')); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys().Remove(tmp)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys().Remove(tmp)
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys().Remove(tmp)
 		return nil, err
 	}
 	if err := commitTemp(dir, tmp, manifestName(meta.NextStage)); err != nil {
@@ -573,7 +574,7 @@ func manifestCRC(m *Manifest) (uint32, error) {
 // LoadManifest reads and validates one manifest file (CRC, version, field
 // sanity). Shards are NOT verified — see VerifyShard / FindRestorable.
 func LoadManifest(path string) (*Manifest, error) {
-	blob, err := os.ReadFile(path)
+	blob, err := fsys().ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
@@ -642,7 +643,8 @@ func FindRestorable(dir string, want Meta) (*Manifest, error) {
 
 // prune removes all but the newest keep committed checkpoints, plus any
 // stray temp files from interrupted writes. Shards not referenced by a
-// surviving manifest are deleted.
+// surviving manifest are deleted. Removal failures do not stop the sweep;
+// they count in ckpt.prune_failures and log once (see removeCounted).
 func prune(dir string, keep int) {
 	paths, _ := filepath.Glob(filepath.Join(dir, "manifest-*.json"))
 	type aged struct {
@@ -655,7 +657,7 @@ func prune(dir string, keep int) {
 		m, err := LoadManifest(p)
 		if err != nil {
 			// Unreadable manifest: not restorable, reclaim it.
-			os.Remove(p)
+			removeCounted(p)
 			continue
 		}
 		all = append(all, aged{p, m.NextStage, m})
@@ -671,28 +673,30 @@ func prune(dir string, keep int) {
 		}
 		// Manifest first: once it is gone the checkpoint is uncommitted and
 		// its shards are garbage even if deletion is interrupted here.
-		os.Remove(a.path)
+		if !removeCounted(a.path) {
+			// The manifest survived, so the checkpoint is still committed:
+			// keep its shards, deleting them would corrupt it.
+			for _, s := range a.m.Shards {
+				kept[s.File] = true
+			}
+			continue
+		}
 		for _, s := range a.m.Shards {
 			if !kept[s.File] {
-				os.Remove(filepath.Join(dir, s.File))
+				removeCounted(filepath.Join(dir, s.File))
 			}
 		}
 	}
 	strays, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
 	for _, s := range strays {
-		os.Remove(s)
+		removeCounted(s)
 	}
 }
 
 // syncDir fsyncs a directory so a just-committed rename survives power
 // loss. Best-effort: some platforms/filesystems reject directory fsync.
 func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
+	fsys().SyncDir(dir)
 }
 
 // putAmps encodes amplitudes little-endian into b (len(b) == 16·len(amps)).

@@ -1,0 +1,125 @@
+package ckpt
+
+import (
+	"fmt"
+	"log"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"qusim/internal/fsio"
+)
+
+// The package's file operations go through an injectable fsio.FS so the
+// chaos layer can degrade the durability path (ENOSPC, torn writes,
+// transient read errors) without touching this code. Production runs on
+// fsio.OS; qlint's fsops analyzer flags any direct os call that would
+// bypass the seam.
+
+// fsPtr holds the installed FS (nil: the real OS). Process-global like
+// the telemetry hook, for the same reason: checkpoint I/O happens from
+// rank goroutines and free functions.
+var fsPtr atomic.Pointer[fsio.FS]
+
+// fsys returns the active file-ops implementation.
+func fsys() fsio.FS {
+	if p := fsPtr.Load(); p != nil {
+		return *p
+	}
+	return fsio.OS{}
+}
+
+// SetFS installs the file-ops implementation the package runs on (nil
+// restores the real OS) and returns the previous one, so tests can
+// `old := ckpt.SetFS(...); t.Cleanup(func() { ckpt.SetFS(old) })`.
+func SetFS(f fsio.FS) fsio.FS {
+	old := fsys()
+	if f == nil {
+		fsPtr.Store(nil)
+	} else {
+		fsPtr.Store(&f)
+	}
+	return old
+}
+
+// pruneLogOnce rate-limits the prune-failure log line: the counter keeps
+// the full count, the log keeps the first concrete path+error for a human.
+var pruneLogOnce sync.Once
+
+// removeCounted removes path, counting and logging (once) a failure
+// instead of dropping it: a prune that cannot delete is not an error for
+// the run — the checkpoint set just stays larger than Keep — but an
+// operator watching ckpt.prune_failures can see the directory filling up.
+func removeCounted(path string) bool {
+	err := fsys().Remove(path)
+	if err == nil {
+		return true
+	}
+	telPruneFailed()
+	pruneLogOnce.Do(func() {
+		log.Printf("ckpt: pruning %s failed: %v (further failures count in ckpt.prune_failures only)", path, err)
+	})
+	return false
+}
+
+// PruneOldest removes the oldest committed checkpoint in dir when more
+// than one exists — the emergency space-reclaim step the engines take
+// when a snapshot write hits ENOSPC. The newest checkpoint (and any
+// shards it shares with the victim) is never touched, so recoverability
+// is preserved; unlike prune it never sweeps unreferenced shard files,
+// which may be another rank's mid-protocol writes. Returns whether a
+// checkpoint was removed.
+func PruneOldest(dir string) bool {
+	paths, _ := filepath.Glob(filepath.Join(dir, "manifest-*.json"))
+	type aged struct {
+		path string
+		m    *Manifest
+	}
+	var all []aged
+	for _, p := range paths {
+		m, err := LoadManifest(p)
+		if err != nil {
+			continue
+		}
+		all = append(all, aged{p, m})
+	}
+	if len(all) < 2 {
+		return false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].m.NextStage < all[j].m.NextStage })
+	victim := all[0]
+	shared := map[string]bool{}
+	for _, a := range all[1:] {
+		for _, s := range a.m.Shards {
+			shared[s.File] = true
+		}
+	}
+	// Manifest first: once it is gone the checkpoint is uncommitted and
+	// its shards are garbage even if deletion is interrupted.
+	if !removeCounted(victim.path) {
+		return false
+	}
+	for _, s := range victim.m.Shards {
+		if !shared[s.File] {
+			removeCounted(filepath.Join(dir, s.File))
+		}
+	}
+	return true
+}
+
+// DiscardStage removes the shard files of an UNCOMMITTED checkpoint at
+// the given stage cursor — the garbage a skipped ENOSPC commit leaves
+// behind. If a manifest for the stage exists (an earlier process
+// committed it and this run re-executed the stage), the shards are live
+// checkpoint data and nothing is removed. Best-effort space reclamation;
+// failures count like prune failures.
+func DiscardStage(dir string, stage int) {
+	if _, err := fsys().ReadFile(filepath.Join(dir, manifestName(stage))); err == nil {
+		return
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("shard-%06d-r*.ckpt", stage)))
+	for _, p := range paths {
+		removeCounted(p)
+	}
+}

@@ -57,3 +57,15 @@ func telCommitDone(t0 time.Time) {
 	t.Counter("ckpt.commits").Inc()
 	t.Histogram("ckpt.commit_ns").ObserveSince(t0)
 }
+
+// telPruneFailed counts one failed snapshot-file removal (prune,
+// PruneOldest or DiscardStage). The run is unaffected — retention just
+// exceeds the policy — but a growing counter means the directory is
+// filling up with undeletable snapshots.
+func telPruneFailed() {
+	t := tel.Load()
+	if t == nil {
+		return
+	}
+	t.Counter("ckpt.prune_failures").Inc()
+}

@@ -18,6 +18,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"qusim/internal/ckpt"
+	"qusim/internal/fsio"
 	"qusim/internal/kernels"
 	"qusim/internal/mpi"
 	"qusim/internal/schedule"
@@ -62,10 +64,20 @@ type Result struct {
 	FaultEvents int64
 
 	// Restarts counts recovery attempts after detected failures (0 when
-	// the first attempt succeeded).
-	Restarts int
+	// the first attempt succeeded). The per-class breakdown below
+	// partitions it by what the failed attempt died of; a dead rank is
+	// observed as its collectives stalling, so classification checks
+	// corrupt, then rank-dead, then stalled.
+	Restarts         int
+	RestartsCorrupt  int
+	RestartsRankDead int
+	RestartsStalled  int
 	// CheckpointsWritten counts snapshots committed across all attempts.
 	CheckpointsWritten int
+	// CheckpointsSkipped counts stage boundaries where the snapshot was
+	// dropped because the disk stayed full after pruning — the run
+	// degrades (a later restart replays more stages) instead of aborting.
+	CheckpointsSkipped int
 	// CheckpointsRestored counts attempts that started from a snapshot
 	// instead of the initial state.
 	CheckpointsRestored int
@@ -129,6 +141,10 @@ type Options struct {
 	// the communication layer surfaces as a recoverable stall instead of a
 	// hang. Zero disables the bound.
 	CommDeadline time.Duration
+	// Retry shapes the recovery loop between attempts: jittered
+	// exponential backoff and a whole-run deadline. Nil keeps the legacy
+	// behavior — immediate restarts, bounded only by MaxRestarts.
+	Retry *RetryPolicy
 	// VerifyChecksums forces CRC verification of collective payloads even
 	// without a checkpoint policy.
 	VerifyChecksums bool
@@ -150,6 +166,65 @@ type ProfileEntry struct {
 	Duration time.Duration
 }
 
+// ErrRunDeadline marks a checkpointed run abandoned because RetryPolicy.
+// Deadline expired before an attempt completed. Test with errors.Is.
+var ErrRunDeadline = errors.New("dist: run deadline exceeded")
+
+// RetryPolicy shapes the recovery loop of a checkpointed run. The number
+// of attempts is still bounded by Checkpoint.MaxRestarts; the policy adds
+// pacing (so a persistently failing environment is not hammered in a tight
+// loop) and an overall give-up clock.
+type RetryPolicy struct {
+	// BaseDelay is the nominal wait before the first restart; each further
+	// restart doubles it, capped at MaxDelay. The actual sleep is jittered
+	// to [d/2, d] so co-failing runs don't retry in lockstep. Zero
+	// restarts immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0: uncapped).
+	MaxDelay time.Duration
+	// Deadline bounds the whole run — compute, backoff and restarts
+	// together. When it expires the run fails with ErrRunDeadline even if
+	// restarts remain. Zero disables the bound.
+	Deadline time.Duration
+	// Seed seeds the jitter source; runs with equal seeds back off
+	// identically.
+	Seed int64
+}
+
+// delay returns the jittered backoff before restart number r (1-based).
+func (p *RetryPolicy) delay(r int, rng *rand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < r; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// classifyRestart partitions a recoverable failure by class — corrupt
+// first (a corrupted payload is the root cause even when its collective
+// also stalled), then rank-dead (which wraps ErrStalled by construction),
+// then pure stalls.
+func classifyRestart(err error, res *Result, tel *telemetry.Telemetry) {
+	switch {
+	case errors.Is(err, mpi.ErrCorrupt):
+		res.RestartsCorrupt++
+		tel.Counter("dist.restart_corrupt").Inc()
+	case errors.Is(err, mpi.ErrRankDead):
+		res.RestartsRankDead++
+		tel.Counter("dist.restart_rank_dead").Inc()
+	case errors.Is(err, mpi.ErrStalled):
+		res.RestartsStalled++
+		tel.Counter("dist.restart_stalled").Inc()
+	}
+}
+
 // attemptOut collects one attempt's results. It is attempt-local on
 // purpose: an attempt abandoned on deadline may have ranks hung in compute
 // that wake later, and they must not share memory with the next attempt.
@@ -165,6 +240,14 @@ type attemptOut struct {
 
 	shards  []ckpt.ShardInfo // checkpoint protocol scratch, indexed by rank
 	written atomic.Int64     // snapshots committed this attempt
+	skipped atomic.Int64     // snapshots dropped on persistent ENOSPC
+
+	// skipStage holds the stage cursor of a checkpoint some rank could not
+	// persist (ENOSPC after pruning): rank 0 sees it after the pre-commit
+	// barrier and skips the commit. It stores the stage number rather than
+	// a flag so a value left behind by one checkpoint can never taint the
+	// next (stage cursors are distinct and ≥ 1).
+	skipStage atomic.Int64
 
 	// commitErr publishes rank 0's Commit outcome to the other ranks; the
 	// barriers on either side of the commit order the accesses.
@@ -199,16 +282,37 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 	}
 
 	tryResume := opts.Resume
+	tel := opts.Telemetry
+	var jrng *rand.Rand
+	if opts.Retry != nil {
+		jrng = rand.New(rand.NewSource(opts.Retry.Seed))
+	}
+	runStart := time.Now()
 	var lastErr error
+	var failedAt time.Time // when the previous attempt's failure surfaced
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			res.Restarts++
+			classifyRestart(lastErr, res, tel)
 			tryResume = true // recover from whatever the failed attempt committed
+			if rp := opts.Retry; rp != nil {
+				if rp.Deadline > 0 && time.Since(runStart) >= rp.Deadline {
+					return nil, fmt.Errorf("dist: %w after %d restarts: %v", ErrRunDeadline, res.Restarts-1, lastErr)
+				}
+				if d := rp.delay(attempt, jrng); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			// Failure detection → restored attempt start: the latency a
+			// fault-tolerance budget actually pays per recovery.
+			tel.Histogram("dist.recovery_latency_ns").ObserveSince(failedAt)
 		}
+		tel.Counter("dist.attempts").Inc()
 		err := runAttempt(plan, opts, l, meta, tryResume, res)
 		if err == nil {
 			return res, nil
 		}
+		failedAt = time.Now()
 		lastErr = err
 		if opts.Checkpoint == nil || !mpi.Recoverable(err) {
 			return nil, err
@@ -340,7 +444,7 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 			// left to resume into.
 			if every > 0 && i+1 < len(plan.Ops) && plan.Ops[i+1].Stage != op.Stage && (op.Stage+1)%every == 0 {
 				ct0 := sc.Now()
-				if err := writeCheckpoint(c, out, meta, ck, local, op.Stage+1); err != nil {
+				if err := writeCheckpoint(c, out, meta, ck, local, op.Stage+1, opts.Telemetry); err != nil {
 					return err
 				}
 				if sc != nil {
@@ -433,6 +537,7 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 	res.CommBytes += w.Traffic.Bytes.Load()
 	res.FaultEvents += w.FaultEvents()
 	res.CheckpointsWritten += int(out.written.Load())
+	res.CheckpointsSkipped += int(out.skipped.Load())
 	if err != nil {
 		return err
 	}
@@ -452,19 +557,54 @@ func runAttempt(plan *schedule.Plan, opts Options, l int, meta ckpt.Meta, tryRes
 // manifest (the commit point), and a second barrier publishes the outcome.
 // A rank that dies anywhere in the protocol leaves either the previous
 // snapshot or the new one intact — never a half-written mixture.
-func writeCheckpoint(c *mpi.Comm, out *attemptOut, meta ckpt.Meta, pol *ckpt.Policy, local []complex128, nextStage int) error {
+//
+// A full disk degrades instead of aborting: the failing rank prunes the
+// oldest snapshot and retries once; if space is still short the whole
+// checkpoint is skipped (no commit, stage-local shards discarded, the
+// previous snapshot stays authoritative) and the run keeps computing.
+func writeCheckpoint(c *mpi.Comm, out *attemptOut, meta ckpt.Meta, pol *ckpt.Policy, local []complex128, nextStage int, tel *telemetry.Telemetry) error {
 	m := meta
 	m.NextStage = nextStage
 	info, err := ckpt.WriteShard(pol.Dir, m, c.Rank(), local)
-	if err != nil {
+	if err != nil && fsio.IsNoSpace(err) {
+		// Concurrent pruning from several ENOSPC'd ranks is safe: removal
+		// races are tolerated and counted, never fatal.
+		if ckpt.PruneOldest(pol.Dir) {
+			tel.Counter("dist.ckpt_enospc_pruned").Inc()
+			info, err = ckpt.WriteShard(pol.Dir, m, c.Rank(), local)
+		}
+	}
+	switch {
+	case err == nil:
+		out.shards[c.Rank()] = info
+	case fsio.IsNoSpace(err):
+		out.skipStage.Store(int64(nextStage))
+	default:
 		return fmt.Errorf("dist: writing stage-%d shard for rank %d: %w", nextStage, c.Rank(), err)
 	}
-	out.shards[c.Rank()] = info
 	c.Barrier()
 	if c.Rank() == 0 {
-		_, cerr := ckpt.Commit(pol.Dir, m, out.shards, pol.KeepN())
+		skip := out.skipStage.Load() == int64(nextStage)
+		var cerr error
+		if !skip {
+			_, cerr = ckpt.Commit(pol.Dir, m, out.shards, pol.KeepN())
+			if cerr != nil && fsio.IsNoSpace(cerr) {
+				if ckpt.PruneOldest(pol.Dir) {
+					tel.Counter("dist.ckpt_enospc_pruned").Inc()
+					_, cerr = ckpt.Commit(pol.Dir, m, out.shards, pol.KeepN())
+				}
+				if cerr != nil && fsio.IsNoSpace(cerr) {
+					skip, cerr = true, nil
+				}
+			}
+		}
 		out.commitErr = cerr
-		if cerr == nil {
+		switch {
+		case skip:
+			out.skipped.Add(1)
+			tel.Counter("dist.ckpt_skipped").Inc()
+			ckpt.DiscardStage(pol.Dir, nextStage)
+		case cerr == nil:
 			out.written.Add(1)
 		}
 	}

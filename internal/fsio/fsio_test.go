@@ -1,0 +1,93 @@
+package fsio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip drives the full interface surface through the OS
+// implementation: temp create, positional and sequential I/O, sync,
+// rename, read-back, remove.
+func TestOSRoundTrip(t *testing.T) {
+	var fs FS = OS{}
+	dir := filepath.Join(t.TempDir(), "sub")
+	if err := fs.MkdirAll(dir); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	f, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("world"), 6); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	tmp := f.Name()
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	final := filepath.Join(dir, "final.txt")
+	if err := fs.Rename(tmp, final); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	blob, err := fs.ReadFile(final)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(blob) != "hello world" {
+		t.Fatalf("read back %q", blob)
+	}
+	g, err := fs.Open(final)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt: %q, %v", buf, err)
+	}
+	g.Close()
+	if err := fs.Remove(final); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(final); !os.IsNotExist(err) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		err       error
+		noSpace   bool
+		transient bool
+	}{
+		{ErrNoSpace, true, false},
+		{fmt.Errorf("wrapped: %w", ErrNoSpace), true, false},
+		{syscall.ENOSPC, true, false},
+		{&os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true, false},
+		{ErrTransient, false, true},
+		{fmt.Errorf("wrapped: %w", ErrTransient), false, true},
+		{syscall.EINTR, false, true},
+		{syscall.EAGAIN, false, true},
+		{os.ErrNotExist, false, false},
+		{nil, false, false},
+	}
+	for _, c := range cases {
+		if got := IsNoSpace(c.err); got != c.noSpace {
+			t.Errorf("IsNoSpace(%v) = %v, want %v", c.err, got, c.noSpace)
+		}
+		if got := IsTransient(c.err); got != c.transient {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.transient)
+		}
+	}
+}

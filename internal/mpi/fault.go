@@ -45,6 +45,11 @@ type FaultPlan struct {
 	// Corrupt, when non-nil, flips one bit of one rank's payload in a
 	// chosen exchange.
 	Corrupt *CorruptFault
+	// Stall, when non-nil, freezes one rank at a chosen collective entry
+	// for a fixed duration — the "slow straggler / hung node" failure mode.
+	// With a deadline armed (World.SetDeadline) the survivors surface
+	// ErrStalled; without one the collective simply completes late.
+	Stall *StallFault
 }
 
 // CrashFault makes Rank vanish — goroutine exits, no error raised, nothing
@@ -53,15 +58,39 @@ type FaultPlan struct {
 // GroupAlltoallGather, AllreduceSum, AllgatherFloat64 and PairExchange
 // entries). The survivors must detect the loss themselves; Run reports an
 // error wrapping ErrRankDead, never a hang. Fires at most once per plan.
+//
+// With Label set, only collectives of that kind count — Collective becomes
+// the 0-based index into the rank's entries with that label. This targets
+// specific protocol points: Label "Barrier" with a checkpointed run kills
+// the rank inside the snapshot commit collective itself.
 type CrashFault struct {
 	Rank       int
 	Collective int
+	Label      string
 
 	fired atomic.Bool
 }
 
 // Fired reports whether the crash has been injected.
 func (c *CrashFault) Fired() bool { return c.fired.Load() }
+
+// StallFault freezes Rank for Duration at its Collective'th collective
+// entry (counted like CrashFault.Collective, with the same optional Label
+// filter), modeling a hung or wildly slow node rather than a dead one. The
+// stalled rank eventually proceeds; whether the run survives depends on
+// the deadline policy above it. Fires at most once per plan, so a
+// restarted attempt sharing the plan replays cleanly past the stall.
+type StallFault struct {
+	Rank       int
+	Collective int
+	Label      string
+	Duration   time.Duration
+
+	fired atomic.Bool
+}
+
+// Fired reports whether the stall has been injected.
+func (s *StallFault) Fired() bool { return s.fired.Load() }
 
 // CorruptFault flips the low mantissa bit of the first amplitude Rank sends
 // in its Exchange'th payload-carrying collective (0-based, counted per rank
@@ -136,27 +165,46 @@ func (c *Comm) deliveryOrder(n int) []int {
 }
 
 // enterCollective advances this rank's collective counters and fires an
-// armed crash when the rank reaches its injection point.
+// armed stall or crash when the rank reaches its injection point. Stalls
+// fire before crashes, so a plan arming both at the same entry stalls
+// first and then dies — the worst composed ordering.
 func (c *Comm) enterCollective(label string, payload bool) {
 	seq := c.collSeq
 	c.collSeq++
 	if payload {
 		c.payloadSeq++
 	}
-	_ = label
 	f := c.w.fault
-	if f == nil || f.Crash == nil {
+	if f == nil || (f.Crash == nil && f.Stall == nil) {
 		return
 	}
-	cr := f.Crash
-	if cr.Rank != c.rank || cr.Collective != seq {
-		return
+	lseq := -1
+	if (f.Crash != nil && f.Crash.Label != "") || (f.Stall != nil && f.Stall.Label != "") {
+		if c.labelSeq == nil {
+			c.labelSeq = make(map[string]int)
+		}
+		lseq = c.labelSeq[label]
+		c.labelSeq[label]++
 	}
-	if !cr.fired.CompareAndSwap(false, true) {
-		return
+	at := func(rank, coll int, lbl string) bool {
+		if rank != c.rank {
+			return false
+		}
+		if lbl == "" {
+			return coll == seq
+		}
+		return lbl == label && coll == lseq
 	}
-	c.w.faultEvents.Add(1)
-	panic(rankCrashed{})
+	if st := f.Stall; st != nil && at(st.Rank, st.Collective, st.Label) &&
+		st.fired.CompareAndSwap(false, true) {
+		c.w.faultEvents.Add(1)
+		time.Sleep(st.Duration)
+	}
+	if cr := f.Crash; cr != nil && at(cr.Rank, cr.Collective, cr.Label) &&
+		cr.fired.CompareAndSwap(false, true) {
+		c.w.faultEvents.Add(1)
+		panic(rankCrashed{})
+	}
 }
 
 // maybeCorrupt applies an armed payload corruption: the chunks are deep

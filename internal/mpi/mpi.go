@@ -542,8 +542,9 @@ type Comm struct {
 	tel   *worldTel        // world telemetry handles, nil when disarmed
 	scope *telemetry.Scope // this rank's comm timeline, nil when disarmed
 
-	collSeq    int // collective entries on this rank (crash counter)
-	payloadSeq int // payload-carrying collective entries (corruption counter)
+	collSeq    int            // collective entries on this rank (crash counter)
+	payloadSeq int            // payload-carrying collective entries (corruption counter)
+	labelSeq   map[string]int // per-label entry counters (labeled fault points)
 	sumBuf     []byte
 }
 

@@ -1,0 +1,84 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStallSurfacesWithDeadline pins the hung-node contract: a rank frozen
+// longer than the world's deadline must surface as an error wrapping
+// ErrStalled for the survivors — a recoverable classification the restart
+// loop above keys on — never as a hang.
+func TestStallSurfacesWithDeadline(t *testing.T) {
+	w := NewWorld(4)
+	stall := &StallFault{Rank: 1, Collective: 1, Duration: 500 * time.Millisecond}
+	w.InjectFaults(&FaultPlan{Stall: stall})
+	w.SetDeadline(50 * time.Millisecond)
+	err := w.Run(func(c *Comm) error {
+		c.Barrier() // collective 0: everyone passes
+		c.Barrier() // collective 1: rank 1 freezes on entry
+		return nil
+	})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if !stall.Fired() {
+		t.Error("stall fault did not report firing")
+	}
+	if !Recoverable(err) {
+		t.Errorf("a stalled run should be Recoverable: %v", err)
+	}
+}
+
+// TestStallCompletesLateWithoutDeadline: with no deadline armed a stall is
+// pure latency — the collective completes once the rank wakes, and the
+// result is indistinguishable from a slow run.
+func TestStallCompletesLateWithoutDeadline(t *testing.T) {
+	w := NewWorld(4)
+	stall := &StallFault{Rank: 2, Collective: 0, Duration: 20 * time.Millisecond}
+	w.InjectFaults(&FaultPlan{Stall: stall})
+	start := time.Now()
+	err := w.Run(func(c *Comm) error {
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stalled-but-undeadlined run failed: %v", err)
+	}
+	if !stall.Fired() {
+		t.Fatal("stall never fired — the scenario tested nothing")
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("run finished in %v, before the stall could have elapsed", elapsed)
+	}
+}
+
+// TestLabeledCrashTargetsCollectiveKind: with Label set, Collective indexes
+// only collectives of that kind, so Label "Barrier" / index 1 must let the
+// rank pass an interleaved AllreduceSum and die on the second Barrier —
+// the mechanism qchaos and the dist tests use to kill a rank inside the
+// checkpoint commit collective specifically.
+func TestLabeledCrashTargetsCollectiveKind(t *testing.T) {
+	w := NewWorld(4)
+	crash := &CrashFault{Rank: 1, Collective: 1, Label: "Barrier"}
+	w.InjectFaults(&FaultPlan{Crash: crash})
+	var afterReduce atomic.Int64
+	err := w.Run(func(c *Comm) error {
+		c.Barrier()       // Barrier #0: everyone passes
+		c.AllreduceSum(1) // overall collective 1, but not a Barrier
+		afterReduce.Add(1)
+		c.Barrier() // Barrier #1: rank 1 dies on entry
+		return nil
+	})
+	if !errors.Is(err, ErrRankDead) {
+		t.Fatalf("err = %v, want ErrRankDead", err)
+	}
+	if !crash.Fired() {
+		t.Fatal("labeled crash never fired")
+	}
+	if got := afterReduce.Load(); got != 4 {
+		t.Errorf("%d ranks passed the AllreduceSum, want all 4 — the label filter misfired early", got)
+	}
+}

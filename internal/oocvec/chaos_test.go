@@ -1,0 +1,179 @@
+package oocvec
+
+import (
+	"testing"
+
+	"qusim/internal/chaos"
+	"qusim/internal/ckpt"
+	"qusim/internal/fsio"
+	"qusim/internal/telemetry"
+)
+
+// Disk-fault scenarios for the out-of-core engine: transient read errors
+// must be absorbed by the bounded retry (or surface classified when they
+// outlast it), and a full disk must cost checkpoints, never correctness.
+
+// chaosVector builds a NewUniform vector whose backing file runs on the
+// given FS (installed process-wide for the New call, restored after).
+func chaosVector(t *testing.T, n, l int, fs fsio.FS) *Vector {
+	t.Helper()
+	old := SetFS(fs)
+	t.Cleanup(func() { SetFS(old) })
+	v, err := NewUniform(n, l, t.TempDir())
+	SetFS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	return v
+}
+
+func TestTransientReadWindowRetriedInvisibly(t *testing.T) {
+	n, l := 10, 7
+	_, plan := buildPlan(t, n, l, 12, 3)
+	clean := oocAmps(t, n, l, func(v *Vector) error { return v.Run(plan) })
+
+	// A 2-op failure window fits inside the 3-attempt retry budget (each
+	// retry re-issues the read as a fresh op, walking past the window).
+	fs := chaos.NewFS(chaos.DiskFaults{ReadErrAt: 5, ReadErrRun: 2}, nil)
+	v := chaosVector(t, n, l, fs)
+	tel := telemetry.New()
+	v.SetTelemetry(tel)
+	if err := v.Run(plan); err != nil {
+		t.Fatalf("transient window inside the retry budget surfaced: %v", err)
+	}
+	if fs.Stats().ReadErrors == 0 {
+		t.Fatal("window never fired — the scenario tested nothing")
+	}
+	if got := tel.Counter("oocvec.io_retries").Value(); got == 0 {
+		t.Error("oocvec.io_retries did not count the retries")
+	}
+	got, err := v.Amplitudes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if clean[i] != got[i] {
+			t.Fatalf("amplitude %d differs after retried reads: %v vs %v", i, clean[i], got[i])
+		}
+	}
+}
+
+func TestTransientReadWindowBeyondBudgetSurfacesClassified(t *testing.T) {
+	n, l := 10, 7
+	_, plan := buildPlan(t, n, l, 12, 3)
+	fs := chaos.NewFS(chaos.DiskFaults{ReadErrAt: 5, ReadErrRun: 64}, nil)
+	v := chaosVector(t, n, l, fs)
+	err := v.Run(plan)
+	if err == nil {
+		t.Fatal("a window far beyond the retry budget was swallowed")
+	}
+	// The classification must survive the wrapping: callers (the chaos
+	// soak's resume loop) decide to retry at run granularity based on it.
+	if !fsio.IsTransient(err) {
+		t.Errorf("exhausted transient window lost its classification: %v", err)
+	}
+}
+
+func TestCheckpointENOSPCSkipsButFinishes(t *testing.T) {
+	n, l := 10, 7
+	_, plan := buildPlan(t, n, l, 16, 4)
+	if plan.Stages() < 2 {
+		t.Fatalf("plan has %d stages; the scenario needs at least 2", plan.Stages())
+	}
+	clean := oocAmps(t, n, l, func(v *Vector) error { return v.Run(plan) })
+
+	// The snapshot directory's disk is permanently full; the vector's own
+	// backing file stays healthy. Every checkpoint is starved — the run
+	// must trade them for replay risk and still finish bitwise clean.
+	old := ckpt.SetFS(chaos.NewFS(chaos.DiskFaults{NoSpaceAt: 1, NoSpaceRun: 1 << 30}, nil))
+	t.Cleanup(func() { ckpt.SetFS(old) })
+
+	v, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	tel := telemetry.New()
+	v.SetTelemetry(tel)
+	restored, written, err := v.RunCheckpointed(plan, &ckpt.Policy{Dir: t.TempDir()}, false)
+	if err != nil {
+		t.Fatalf("full snapshot disk aborted the run: %v", err)
+	}
+	if restored != -1 || written != 0 {
+		t.Errorf("restored=%d written=%d, want -1 and 0 on a fully starved disk", restored, written)
+	}
+	if v.CheckpointsSkipped() == 0 {
+		t.Error("CheckpointsSkipped() = 0 though every snapshot was starved")
+	}
+	if got := tel.Counter("oocvec.ckpt_skipped").Value(); got == 0 {
+		t.Error("oocvec.ckpt_skipped telemetry never fired")
+	}
+
+	got, err := v.Amplitudes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if clean[i] != got[i] {
+			t.Fatalf("amplitude %d differs after skipped checkpoints: %v vs %v", i, clean[i], got[i])
+		}
+	}
+}
+
+func TestCheckpointENOSPCWindowSkipsOnlyStarvedSnapshots(t *testing.T) {
+	n, l := 10, 7
+	_, plan := buildPlan(t, n, l, 16, 4)
+	if plan.Stages() < 3 {
+		t.Skipf("plan has %d stages; the scenario needs at least 3", plan.Stages())
+	}
+	// A starved checkpoint consumes exactly one write op (the failing
+	// CreateTemp), so a 1-op window starves the first snapshot only: later
+	// ones commit, and the resulting directory still resumes.
+	old := ckpt.SetFS(chaos.NewFS(chaos.DiskFaults{NoSpaceAt: 1, NoSpaceRun: 1}, nil))
+	t.Cleanup(func() { ckpt.SetFS(old) })
+
+	v, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	dir := t.TempDir()
+	_, written, err := v.RunCheckpointed(plan, &ckpt.Policy{Dir: dir}, false)
+	if err != nil {
+		t.Fatalf("transient snapshot-disk window aborted the run: %v", err)
+	}
+	if v.CheckpointsSkipped() == 0 {
+		t.Fatal("window never starved a checkpoint — the scenario tested nothing")
+	}
+	if written == 0 {
+		t.Error("no checkpoint committed after the window passed")
+	}
+	want, err := v.Amplitudes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivors must be genuinely restorable.
+	v2, err := NewUniform(n, l, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	restored, _, err := v2.RunCheckpointed(plan, &ckpt.Policy{Dir: dir}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored < 0 {
+		t.Error("resume found no snapshot though some committed")
+	}
+	got, err := v2.Amplitudes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("amplitude %d differs after resume across a skipped snapshot: %v vs %v", i, want[i], got[i])
+		}
+	}
+}

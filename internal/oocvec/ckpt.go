@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qusim/internal/ckpt"
+	"qusim/internal/fsio"
 	"qusim/internal/schedule"
 )
 
@@ -105,8 +106,24 @@ func (v *Vector) RunCheckpointed(plan *schedule.Plan, pol *ckpt.Policy, resume b
 		// Snapshot at the stage boundary; the end of the final stage is
 		// skipped — there is nothing left to resume into.
 		if s+1 < nstages && (s+1)%every == 0 {
-			if err := v.Checkpoint(pol.Dir, plan, s+1, pol.KeepN()); err != nil {
-				return restoredStage, written, err
+			cerr := v.Checkpoint(pol.Dir, plan, s+1, pol.KeepN())
+			if cerr != nil && fsio.IsNoSpace(cerr) {
+				// Out of space: reclaim the oldest snapshot and retry
+				// once; if the disk is still full, drop this snapshot and
+				// keep computing — a missed checkpoint only means a
+				// longer replay if the run later has to restart.
+				if ckpt.PruneOldest(pol.Dir) {
+					cerr = v.Checkpoint(pol.Dir, plan, s+1, pol.KeepN())
+				}
+				if cerr != nil && fsio.IsNoSpace(cerr) {
+					v.ckptSkipped++
+					v.tel.ckptSkipped.Inc()
+					ckpt.DiscardStage(pol.Dir, s+1)
+					continue
+				}
+			}
+			if cerr != nil {
+				return restoredStage, written, cerr
 			}
 			written++
 		}

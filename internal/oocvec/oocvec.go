@@ -24,9 +24,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
+	"sync/atomic"
 	"time"
 
+	"qusim/internal/fsio"
 	"qusim/internal/kernels"
 	"qusim/internal/par"
 	"qusim/internal/schedule"
@@ -39,17 +40,46 @@ type Vector struct {
 	N int // total qubits
 	L int // in-memory chunk holds 2^L amplitudes
 
-	f    *os.File
+	fs   fsio.FS      // file-ops seam, captured from the package hook at New
+	f    fsio.File    // backing file
 	path string       // backing file path; stable across swap adoptions
 	dir  string       // directory holding the backing and swap files
 	buf  []complex128 // one chunk (reactive path / streaming helpers)
 	raw  []byte       // encoded form of one chunk, reused across I/O calls
 
-	prefetch int // chunks read ahead of the compute loop; 0 = reactive
-	tel      vecTel
+	prefetch    int // chunks read ahead of the compute loop; 0 = reactive
+	ckptSkipped int // checkpoints skipped on persistent ENOSPC (ckpt.go)
+	tel         vecTel
 }
 
 const ampBytes = 16
+
+// fsPtr holds the injectable file-ops implementation (nil: the real OS).
+// A Vector captures it at New, so an installed chaos FS follows the vector
+// through its whole life, including the pipeline's reader and writeback
+// goroutines.
+var fsPtr atomic.Pointer[fsio.FS]
+
+func fsys() fsio.FS {
+	if p := fsPtr.Load(); p != nil {
+		return *p
+	}
+	return fsio.OS{}
+}
+
+// SetFS installs the file-ops implementation new Vectors run on (nil
+// restores the real OS) and returns the previous one, so tests can
+// `old := oocvec.SetFS(f); t.Cleanup(func() { oocvec.SetFS(old) })`.
+// Vectors that already exist keep the FS they were created with.
+func SetFS(f fsio.FS) fsio.FS {
+	old := fsys()
+	if f == nil {
+		fsPtr.Store(nil)
+	} else {
+		fsPtr.Store(&f)
+	}
+	return old
+}
 
 // New creates a file-backed |0…0⟩ state in dir (empty dir means the
 // default temp dir). l controls the in-memory chunk size.
@@ -60,11 +90,12 @@ func New(n, l int, dir string) (*Vector, error) {
 	if l < 1 || n > 40 {
 		return nil, fmt.Errorf("oocvec: unsupported sizes n=%d l=%d", n, l)
 	}
-	f, err := os.CreateTemp(dir, "oocvec-*.state")
+	fs := fsys()
+	f, err := fs.CreateTemp(dir, "oocvec-*.state")
 	if err != nil {
 		return nil, err
 	}
-	v := &Vector{N: n, L: l, f: f, path: f.Name(), dir: dir,
+	v := &Vector{N: n, L: l, fs: fs, f: f, path: f.Name(), dir: dir,
 		buf: make([]complex128, 1<<l), raw: make([]byte, ampBytes<<l)}
 	// Initialize to zero; first chunk carries amplitude 1 at index 0.
 	for c := 0; c < v.Chunks(); c++ {
@@ -76,7 +107,7 @@ func New(n, l int, dir string) (*Vector, error) {
 		}
 		if err := v.writeChunk(c, v.buf); err != nil {
 			f.Close()
-			os.Remove(f.Name())
+			fs.Remove(f.Name())
 			return nil, err
 		}
 	}
@@ -128,7 +159,9 @@ type vecTel struct {
 	hits, misses  *telemetry.Counter // prefetch hit = chunk ready when asked
 	chunksRead    *telemetry.Counter
 	chunksWritten *telemetry.Counter
-	planHits      *telemetry.Gauge // cumulative plan-analysis cache hits
+	ioRetries     *telemetry.Counter // transient chunk-I/O errors retried
+	ckptSkipped   *telemetry.Counter // snapshots skipped on persistent ENOSPC
+	planHits      *telemetry.Gauge   // cumulative plan-analysis cache hits
 	planMisses    *telemetry.Gauge
 	inFlight      *telemetry.Gauge // bytes held in pipeline buffers
 	readNs        *telemetry.Histogram
@@ -152,6 +185,8 @@ func (v *Vector) SetTelemetry(t *telemetry.Telemetry) {
 		misses:        t.Counter("oocvec.prefetch_misses"),
 		chunksRead:    t.Counter("oocvec.chunks_read"),
 		chunksWritten: t.Counter("oocvec.chunks_written"),
+		ioRetries:     t.Counter("oocvec.io_retries"),
+		ckptSkipped:   t.Counter("oocvec.ckpt_skipped"),
 		planHits:      t.Gauge("oocvec.plan_cache_hits"),
 		planMisses:    t.Gauge("oocvec.plan_cache_misses"),
 		inFlight:      t.Gauge("oocvec.bytes_in_flight"),
@@ -163,11 +198,17 @@ func (v *Vector) SetTelemetry(t *telemetry.Telemetry) {
 // Close removes the backing file.
 func (v *Vector) Close() error {
 	err := v.f.Close()
-	if rmErr := os.Remove(v.path); err == nil {
+	if rmErr := v.fs.Remove(v.path); err == nil {
 		err = rmErr
 	}
 	return err
 }
+
+// CheckpointsSkipped reports how many periodic snapshots RunCheckpointed
+// dropped because the disk stayed full after pruning — the graceful-
+// degradation path: the run continues, it just restarts from further back
+// if it later has to.
+func (v *Vector) CheckpointsSkipped() int { return v.ckptSkipped }
 
 // Chunks returns the number of file chunks, 2^(N−L).
 func (v *Vector) Chunks() int { return 1 << (v.N - v.L) }
@@ -212,16 +253,45 @@ var (
 	writeHook func(chunk int) error
 )
 
+// Transient chunk-I/O errors (EINTR/EAGAIN-class, fsio.IsTransient) are
+// retried in place with bounded exponential backoff rather than aborting a
+// multi-hour streamed pass: ioRetryAttempts total tries, sleeping
+// ioRetryBase, 2·ioRetryBase, … between them.
+const (
+	ioRetryAttempts = 3
+	ioRetryBase     = 250 * time.Microsecond
+)
+
+// retryIO runs op, retrying transient failures. Each retry bumps the
+// (nil-safe) counter; a window that outlasts every attempt surfaces the
+// last error, still marked transient so callers can degrade further.
+func retryIO(retries *telemetry.Counter, op func() error) error {
+	var err error
+	for a := 0; a < ioRetryAttempts; a++ {
+		if a > 0 {
+			retries.Inc()
+			time.Sleep(ioRetryBase << uint(a-1))
+		}
+		if err = op(); err == nil || !fsio.IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("oocvec: transient i/o persisted through %d attempts: %w", ioRetryAttempts, err)
+}
+
 // readChunkInto reads chunk c of f into amps via the scratch buffer raw.
 // It uses positional I/O, so concurrent calls on distinct chunks are safe.
-func readChunkInto(f *os.File, l, c int, amps []complex128, raw []byte) error {
+func readChunkInto(f fsio.File, l, c int, amps []complex128, raw []byte, retries *telemetry.Counter) error {
 	if readHook != nil {
 		if err := readHook(c); err != nil {
 			return err
 		}
 	}
 	off := int64(c) << uint(l) * ampBytes
-	if _, err := f.ReadAt(raw, off); err != nil {
+	if err := retryIO(retries, func() error {
+		_, err := f.ReadAt(raw, off)
+		return err
+	}); err != nil {
 		return err
 	}
 	decodeChunk(raw, amps)
@@ -229,7 +299,7 @@ func readChunkInto(f *os.File, l, c int, amps []complex128, raw []byte) error {
 }
 
 // writeChunkFrom writes amps as chunk c of f via the scratch buffer raw.
-func writeChunkFrom(f *os.File, l, c int, amps []complex128, raw []byte) error {
+func writeChunkFrom(f fsio.File, l, c int, amps []complex128, raw []byte, retries *telemetry.Counter) error {
 	if writeHook != nil {
 		if err := writeHook(c); err != nil {
 			return err
@@ -237,16 +307,18 @@ func writeChunkFrom(f *os.File, l, c int, amps []complex128, raw []byte) error {
 	}
 	encodeChunk(amps, raw)
 	off := int64(c) << uint(l) * ampBytes
-	_, err := f.WriteAt(raw, off)
-	return err
+	return retryIO(retries, func() error {
+		_, err := f.WriteAt(raw, off)
+		return err
+	})
 }
 
 func (v *Vector) readChunk(c int, dst []complex128) error {
-	return readChunkInto(v.f, v.L, c, dst, v.raw)
+	return readChunkInto(v.f, v.L, c, dst, v.raw, v.tel.ioRetries)
 }
 
 func (v *Vector) writeChunk(c int, src []complex128) error {
-	return writeChunkFrom(v.f, v.L, c, src, v.raw)
+	return writeChunkFrom(v.f, v.L, c, src, v.raw, v.tel.ioRetries)
 }
 
 // ApplyOp executes one plan op reactively (one streamed pass for this op
@@ -379,7 +451,7 @@ func (v *Vector) swap(op *schedule.Op) error {
 	if err != nil {
 		return err
 	}
-	out, err := os.CreateTemp(v.dir, "oocvec-*.swap")
+	out, err := v.fs.CreateTemp(v.dir, "oocvec-*.swap")
 	if err != nil {
 		return err
 	}
@@ -388,12 +460,12 @@ func (v *Vector) swap(op *schedule.Op) error {
 	for c := 0; c < v.Chunks(); c++ {
 		if err := v.readChunk(c, v.buf); err != nil {
 			out.Close()
-			os.Remove(out.Name())
+			v.fs.Remove(out.Name())
 			return err
 		}
-		if err := scatterChunk(out, v.L, c, bitPos, v.buf, v.raw); err != nil {
+		if err := scatterChunk(out, v.L, c, bitPos, v.buf, v.raw, v.tel.ioRetries); err != nil {
 			out.Close()
-			os.Remove(out.Name())
+			v.fs.Remove(out.Name())
 			return err
 		}
 	}
@@ -403,7 +475,7 @@ func (v *Vector) swap(op *schedule.Op) error {
 // scatterChunk writes each sub-block of chunk c to its destination in the
 // swap target file. amps is encoded once into raw; the sub-block writes
 // slice the encoding.
-func scatterChunk(out *os.File, l, c int, bitPos []int, amps []complex128, raw []byte) error {
+func scatterChunk(out fsio.File, l, c int, bitPos []int, amps []complex128, raw []byte, retries *telemetry.Counter) error {
 	if writeHook != nil {
 		if err := writeHook(c); err != nil {
 			return err
@@ -418,7 +490,10 @@ func scatterChunk(out *os.File, l, c int, bitPos []int, amps []complex128, raw [
 		// landing at sub-block m.
 		dst := swapDest(c, j, bitPos)
 		off := (int64(dst)<<uint(l) + int64(m)*int64(sub)) * ampBytes
-		if _, err := out.WriteAt(raw[j*sub*ampBytes:(j+1)*sub*ampBytes], off); err != nil {
+		if err := retryIO(retries, func() error {
+			_, err := out.WriteAt(raw[j*sub*ampBytes:(j+1)*sub*ampBytes], off)
+			return err
+		}); err != nil {
 			return err
 		}
 	}
@@ -428,13 +503,13 @@ func scatterChunk(out *os.File, l, c int, bitPos []int, amps []complex128, raw [
 // adoptSwapFile retires the current backing file in favor of the
 // just-written swap target, renaming it over the old *.state path so the
 // backing file keeps its name (and the directory never accumulates *.swap
-// entries) across any number of swaps.
-//
-//qlint:ignore atomicrename the rename moves transient working state, not a durability commit; a crash mid-run restarts from a ckpt snapshot (which does use the fsync+rename helper), never from this file
-func (v *Vector) adoptSwapFile(out *os.File) error {
+// entries) across any number of swaps. The rename moves transient working
+// state, not a durability commit; a crash mid-run restarts from a ckpt
+// snapshot (which does use the fsync+rename helper), never from this file.
+func (v *Vector) adoptSwapFile(out fsio.File) error {
 	old := v.f
 	v.f = out
-	if err := os.Rename(out.Name(), v.path); err != nil {
+	if err := v.fs.Rename(out.Name(), v.path); err != nil {
 		old.Close()
 		return err
 	}

@@ -1,10 +1,10 @@
 package oocvec
 
 import (
-	"os"
 	"sync"
 	"time"
 
+	"qusim/internal/fsio"
 	"qusim/internal/kernels"
 	"qusim/internal/schedule"
 	"qusim/internal/telemetry"
@@ -79,10 +79,10 @@ func (v *Vector) runStage(plan *schedule.Plan, sa *schedule.StageAccess) error {
 		return nil
 	}
 
-	var out *os.File
+	var out fsio.File
 	if swapOp != nil {
 		var err error
-		if out, err = os.CreateTemp(v.dir, "oocvec-*.swap"); err != nil {
+		if out, err = v.fs.CreateTemp(v.dir, "oocvec-*.swap"); err != nil {
 			return err
 		}
 	}
@@ -92,7 +92,7 @@ func (v *Vector) runStage(plan *schedule.Plan, sa *schedule.StageAccess) error {
 	if err != nil {
 		if out != nil {
 			out.Close()
-			os.Remove(out.Name())
+			v.fs.Remove(out.Name())
 		}
 		return err
 	}
@@ -118,7 +118,7 @@ func (v *Vector) runStage(plan *schedule.Plan, sa *schedule.StageAccess) error {
 // pumpStage runs the reader → compute → writeback pipeline over every
 // chunk. On any failure it halts the pipeline, joins both goroutines and
 // returns the first error; no goroutine or buffer outlives the call.
-func (v *Vector) pumpStage(stream []*schedule.Op, swapOp *schedule.Op, bitPos []int, out *os.File) error {
+func (v *Vector) pumpStage(stream []*schedule.Op, swapOp *schedule.Op, bitPos []int, out fsio.File) error {
 	chunks := v.Chunks()
 	depth := v.prefetch
 	if depth > chunks {
@@ -155,7 +155,7 @@ func (v *Vector) pumpStage(stream []*schedule.Op, swapOp *schedule.Op, bitPos []
 				return
 			}
 			t0 := v.tel.rdSc.Now()
-			if err := readChunkInto(v.f, v.L, c, b.amps, b.raw); err != nil {
+			if err := readChunkInto(v.f, v.L, c, b.amps, b.raw, v.tel.ioRetries); err != nil {
 				readErr = err
 				free <- b
 				halt()
@@ -193,9 +193,9 @@ func (v *Vector) pumpStage(stream []*schedule.Op, swapOp *schedule.Op, bitPos []
 			t0 := v.tel.wrSc.Now()
 			var err error
 			if swapOp != nil {
-				err = scatterChunk(out, v.L, b.idx, bitPos, b.amps, b.raw)
+				err = scatterChunk(out, v.L, b.idx, bitPos, b.amps, b.raw, v.tel.ioRetries)
 			} else {
-				err = writeChunkFrom(v.f, v.L, b.idx, b.amps, b.raw)
+				err = writeChunkFrom(v.f, v.L, b.idx, b.amps, b.raw, v.tel.ioRetries)
 			}
 			if err != nil {
 				writeErr = err

@@ -393,6 +393,13 @@ func minLocalQubits(c *circuit.Circuit) int {
 	return min
 }
 
+// Unpermute maps plan-physical amplitudes back to logical qubit order —
+// exported for harnesses that run an engine directly (not through a
+// Backend) and need to compare its raw state against a reference.
+func Unpermute(plan *schedule.Plan, phys []complex128) []complex128 {
+	return unpermute(plan, phys)
+}
+
 // unpermute maps plan-physical amplitudes back to logical qubit order.
 func unpermute(plan *schedule.Plan, phys []complex128) []complex128 {
 	out := make([]complex128, len(phys))

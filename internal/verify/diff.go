@@ -189,6 +189,15 @@ func (e *Engine) minimize(c *circuit.Circuit, b Backend) *circuit.Circuit {
 	return cur
 }
 
+// MinimizeDivergence shrinks a circuit on which b diverges from ref by
+// more than tol, using the same greedy delta debugging as the engine's
+// automatic reproducers — the entry point for external harnesses (the
+// chaos soak driver) that detect a mismatch outside an Engine run.
+func MinimizeDivergence(ref, b Backend, tol float64, c *circuit.Circuit) *circuit.Circuit {
+	e := NewEngine(ref, []Backend{b}, tol)
+	return e.minimize(c, b)
+}
+
 // withoutGates returns a copy of c with gates [lo, hi) removed.
 func withoutGates(c *circuit.Circuit, lo, hi int) *circuit.Circuit {
 	out := circuit.NewCircuit(c.N)
