@@ -8,7 +8,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 .PHONY: build test race verify lint lint-tools chaos-smoke fuzz \
 	fuzz-smoke bench bench-smoke bench-permute bench-ckpt bench-telemetry \
-	bench-oocvec bench-kernels
+	bench-oocvec bench-kernels bench-workloads coverage
 
 # Compile every package and link every command into bin/, so a broken
 # main package fails the build even though `go build ./...` discards
@@ -128,3 +128,27 @@ bench-kernels:
 # chunk buffer = 16·2^chunk bytes, both ×2 transiently during a swap).
 bench-oocvec:
 	QUSIM_OOC_QUBITS=28 QUSIM_OOC_CHUNK=22 $(GO) test -run '^$$' -bench 'BenchmarkOOCPrefetch' -benchtime 1x -count 2 -timeout 60m . | $(GO) run ./cmd/benchjson > BENCH_oocvec.json
+
+# Named-workload catalog baseline: cmd/qbench runs every family at both
+# tiers (quick = the CI smoke sizes, full = nightly/real-host sizes) with
+# every correctness expectation enforced, and the merged benchmark lines
+# are recorded in BENCH_workloads.json. CI's workload-smoke job re-runs
+# the quick tier and gates its ns/op against this file via
+# `benchjson -compare`, so refresh it (on a quiet machine) whenever a PR
+# deliberately shifts workload performance.
+bench-workloads:
+	($(GO) run ./cmd/qbench -quick -bench && $(GO) run ./cmd/qbench -full -bench) | $(GO) run ./cmd/benchjson -strict > BENCH_workloads.json
+
+# Coverage floors for the subsystems the workload catalog leans on for
+# correctness scoring. The gate is deliberately narrow: these two packages
+# decide whether a perf regression PR also broke the physics, so their
+# estimator/trajectory logic stays ≥ 90% covered.
+coverage:
+	@for pkg in ./internal/xeb ./internal/noise; do \
+		$(GO) test -coverprofile=coverage.out $$pkg >/dev/null || exit 1; \
+		total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{gsub(/%/,"",$$3); print $$3}'); \
+		echo "coverage: $$pkg $$total% (floor 90%)"; \
+		if [ "$$(awk -v t="$$total" 'BEGIN { print (t+0 >= 90) ? 1 : 0 }')" != "1" ]; then \
+			echo "coverage: $$pkg is below the 90% floor"; exit 1; \
+		fi; \
+	done

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Compare mode: `benchjson -compare old.json new.json [-threshold pct]`
+// diffs two documents this command produced and gates on ns/op growth.
+// A benchmark is a regression when its ns/op grew by more than the
+// threshold percentage; any regression makes the exit status 1, which is
+// how the CI workload-smoke job turns a committed BENCH_workloads.json
+// baseline into a perf gate. Benchmarks missing from the new document are
+// reported but not fatal (a renamed workload should not brick CI), unless
+// -require-all is set.
+
+// comparison is one benchmark's old-vs-new verdict.
+type comparison struct {
+	Name     string
+	Old, New float64 // ns/op; 0 when the side is absent
+	DeltaPct float64 // (new/old − 1) · 100
+	Status   string  // "ok", "regression", "improved", "missing", "new"
+}
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("benchjson -compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent of ns/op growth")
+	requireAll := fs.Bool("require-all", false, "treat benchmarks missing from the new document as failures")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	// Accept the two file operands before, between, or after the flags.
+	var files []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		rest = fs.Args()
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			files = append(files, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+	}
+	if len(files) != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldDoc, err := loadDocument(files[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadDocument(files[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	comps := compareDocs(oldDoc, newDoc, *threshold)
+	writeMarkdown(os.Stdout, comps, *threshold)
+	fail := false
+	for _, c := range comps {
+		if c.Status == "regression" || (*requireAll && c.Status == "missing") {
+			fail = true
+		}
+	}
+	if fail {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %g%% threshold\n", *threshold)
+		return 1
+	}
+	return 0
+}
+
+func loadDocument(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// compareDocs pairs benchmarks by name and classifies each against the
+// threshold (percent ns/op growth). Results are sorted by name with the
+// regressions first, so the worst news leads the table.
+func compareDocs(oldDoc, newDoc document, threshold float64) []comparison {
+	newBy := map[string]benchmark{}
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	var out []comparison
+	for _, ob := range oldDoc.Benchmarks {
+		seen[ob.Name] = true
+		c := comparison{Name: ob.Name, Old: ob.Metrics["ns/op"]}
+		nb, ok := newBy[ob.Name]
+		switch {
+		case !ok:
+			c.Status = "missing"
+		case c.Old <= 0:
+			c.New = nb.Metrics["ns/op"]
+			c.Status = "new" // unusable baseline entry; treat as fresh
+		default:
+			c.New = nb.Metrics["ns/op"]
+			c.DeltaPct = (c.New/c.Old - 1) * 100
+			switch {
+			case c.DeltaPct > threshold:
+				c.Status = "regression"
+			case c.DeltaPct < -threshold:
+				c.Status = "improved"
+			default:
+				c.Status = "ok"
+			}
+		}
+		out = append(out, c)
+	}
+	for _, nb := range newDoc.Benchmarks {
+		if !seen[nb.Name] {
+			out = append(out, comparison{Name: nb.Name, New: nb.Metrics["ns/op"], Status: "new"})
+		}
+	}
+	rank := map[string]int{"regression": 0, "missing": 1, "ok": 2, "improved": 2, "new": 3}
+	sort.SliceStable(out, func(i, j int) bool {
+		if rank[out[i].Status] != rank[out[j].Status] {
+			return rank[out[i].Status] < rank[out[j].Status]
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// writeMarkdown renders the comparison as a GitHub-flavored markdown table —
+// CI appends it to GITHUB_STEP_SUMMARY.
+func writeMarkdown(w io.Writer, comps []comparison, threshold float64) {
+	fmt.Fprintf(w, "### Benchmark comparison (threshold ±%g%% ns/op)\n\n", threshold)
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ | status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, c := range comps {
+		delta := "—"
+		if c.Status == "ok" || c.Status == "regression" || c.Status == "improved" {
+			delta = fmt.Sprintf("%+.1f%%", c.DeltaPct)
+		}
+		status := c.Status
+		if c.Status == "regression" {
+			status = "**regression**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			c.Name, fmtNs(c.Old), fmtNs(c.New), delta, status)
+	}
+}
+
+func fmtNs(v float64) string {
+	if v <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(ns map[string]float64) document {
+	d := document{Benchmarks: []benchmark{}}
+	for name, v := range ns {
+		d.Benchmarks = append(d.Benchmarks, benchmark{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return d
+}
+
+func statuses(comps []comparison) map[string]string {
+	out := map[string]string{}
+	for _, c := range comps {
+		out[c.Name] = c.Status
+	}
+	return out
+}
+
+func TestCompareDocsClassification(t *testing.T) {
+	oldDoc := doc(map[string]float64{
+		"BenchmarkWorkload/supremacy/quick": 1000,
+		"BenchmarkWorkload/xeb/quick":       1000,
+		"BenchmarkWorkload/noise/quick":     1000,
+		"BenchmarkWorkload/gone/quick":      1000,
+	})
+	newDoc := doc(map[string]float64{
+		"BenchmarkWorkload/supremacy/quick": 1050, // +5% — within threshold
+		"BenchmarkWorkload/xeb/quick":       1300, // +30% — regression
+		"BenchmarkWorkload/noise/quick":     600,  // −40% — improved
+		"BenchmarkWorkload/fresh/quick":     500,  // only in new
+	})
+	got := statuses(compareDocs(oldDoc, newDoc, 10))
+	want := map[string]string{
+		"BenchmarkWorkload/supremacy/quick": "ok",
+		"BenchmarkWorkload/xeb/quick":       "regression",
+		"BenchmarkWorkload/noise/quick":     "improved",
+		"BenchmarkWorkload/gone/quick":      "missing",
+		"BenchmarkWorkload/fresh/quick":     "new",
+	}
+	for name, s := range want {
+		if got[name] != s {
+			t.Errorf("%s: status %q, want %q", name, got[name], s)
+		}
+	}
+	comps := compareDocs(oldDoc, newDoc, 10)
+	if comps[0].Status != "regression" {
+		t.Errorf("regressions not sorted first: got %q", comps[0].Status)
+	}
+}
+
+func TestCompareDocsThresholdBoundary(t *testing.T) {
+	// 1250/1000 is exact in binary, so the delta is exactly 25%.
+	oldDoc := doc(map[string]float64{"B": 1000})
+	newDoc := doc(map[string]float64{"B": 1250})
+	if s := statuses(compareDocs(oldDoc, newDoc, 25))["B"]; s != "ok" {
+		t.Errorf("exactly-at-threshold delta classified %q, want ok", s)
+	}
+	if s := statuses(compareDocs(oldDoc, newDoc, 24))["B"]; s != "regression" {
+		t.Errorf("above-threshold delta classified %q, want regression", s)
+	}
+}
+
+func writeDoc(t *testing.T, path string, d document) {
+	t.Helper()
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCompareInjectedRegression is the acceptance check: injecting a
+// slowdown beyond the threshold must drive the -compare exit status nonzero,
+// and an in-threshold diff must not.
+func TestRunCompareInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, doc(map[string]float64{"BenchmarkWorkload/xeb/quick": 1000}))
+	writeDoc(t, newPath, doc(map[string]float64{"BenchmarkWorkload/xeb/quick": 2500}))
+
+	if code := runCompare([]string{oldPath, newPath, "-threshold", "50"}); code != 1 {
+		t.Errorf("injected +150%% regression: exit %d, want 1", code)
+	}
+	if code := runCompare([]string{"-threshold", "200", oldPath, newPath}); code != 0 {
+		t.Errorf("within generous threshold: exit %d, want 0", code)
+	}
+}
+
+func TestRunCompareMissingPolicy(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeDoc(t, oldPath, doc(map[string]float64{"A": 1000, "B": 1000}))
+	writeDoc(t, newPath, doc(map[string]float64{"A": 1000}))
+
+	if code := runCompare([]string{oldPath, newPath}); code != 0 {
+		t.Errorf("missing benchmark fatal by default: exit %d, want 0", code)
+	}
+	if code := runCompare([]string{"-require-all", oldPath, newPath}); code != 1 {
+		t.Errorf("missing benchmark with -require-all: exit %d, want 1", code)
+	}
+}
+
+func TestRunCompareUsageErrors(t *testing.T) {
+	if code := runCompare([]string{"only-one.json"}); code != 2 {
+		t.Errorf("one operand: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{"/nonexistent/a.json", "/nonexistent/b.json"}); code != 2 {
+		t.Errorf("unreadable files: exit %d, want 2", code)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var sb strings.Builder
+	writeMarkdown(&sb, []comparison{
+		{Name: "B/slow", Old: 100, New: 200, DeltaPct: 100, Status: "regression"},
+		{Name: "B/gone", Old: 100, Status: "missing"},
+	}, 10)
+	out := sb.String()
+	for _, want := range []string{"| benchmark |", "**regression**", "+100.0%", "B/gone", "—"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseBenchLineWorkloadFormat(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkWorkload/xeb/quick \t1\t2700000 ns/op\t1.65e+08 amps/s\t9e+06 samples/s")
+	if !ok {
+		t.Fatal("qbench -bench line did not parse")
+	}
+	if b.Name != "BenchmarkWorkload/xeb/quick" || b.Metrics["ns/op"] != 2700000 || b.Metrics["amps/s"] != 1.65e8 {
+		t.Errorf("parsed %+v", b)
+	}
+}

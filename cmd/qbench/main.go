@@ -1,0 +1,169 @@
+// Command qbench runs the named-workload benchmark catalog: the scenario
+// spread every optimization PR must prove itself against — supremacy
+// circuits (paper Fig. 1), XEB fidelity estimation, stochastic noise
+// trajectories, and QAOA/VQE parameter sweeps — each built deterministically
+// from a seed, checked against its correctness expectation, and timed.
+//
+// The human-readable report goes to stdout (stderr with -bench); with
+// -bench, stdout carries `go test -bench`-format lines for the benchjson
+// pipeline, which is how `make bench-workloads` records
+// BENCH_workloads.json and how CI's workload-smoke job produces the file it
+// diffs against the checked-in baseline via `benchjson -compare`.
+//
+// Examples:
+//
+//	qbench -quick -list                 # name the catalog
+//	qbench -quick                       # CI tier, report + expectations
+//	qbench -full -backend f32vec        # full tier through the f32 path
+//	qbench -quick -bench | benchjson    # machine-readable throughput
+//
+// Exit status 1 means a correctness expectation failed; 2 a harness error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"qusim/internal/par"
+	"qusim/internal/workload"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "quick size tier (CI runners); default")
+		full    = flag.Bool("full", false, "full size tier (real hosts, nightly CI)")
+		list    = flag.Bool("list", false, "list the catalog and exit")
+		run     = flag.String("run", "", "regexp filtering workload names")
+		backend = flag.String("backend", "statevec", "execution path: "+strings.Join(workload.Backends(), ", "))
+		seed    = flag.Int64("seed", 1, "master seed (circuits, parameters, samplers)")
+		bench   = flag.Bool("bench", false, "emit go-test benchmark lines on stdout (report moves to stderr)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "qbench: -quick and -full are mutually exclusive")
+		os.Exit(2)
+	}
+	tier := workload.TierQuick
+	if *full {
+		tier = workload.TierFull
+	}
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
+
+	catalog := workload.Catalog()
+	if *run != "" {
+		var err error
+		if catalog, err = workload.Filter(*run); err != nil {
+			fmt.Fprintln(os.Stderr, "qbench:", err)
+			os.Exit(2)
+		}
+		if len(catalog) == 0 {
+			fmt.Fprintf(os.Stderr, "qbench: no workload matches %q\n", *run)
+			os.Exit(2)
+		}
+	}
+
+	if *list {
+		listCatalog(os.Stdout, catalog, workload.Params{Tier: tier, Seed: *seed})
+		return
+	}
+
+	report := io.Writer(os.Stdout)
+	if *bench {
+		report = os.Stderr
+		fmt.Printf("goos: %s\ngoarch: %s\npkg: qusim/workload\n", runtime.GOOS, runtime.GOARCH)
+	}
+
+	failed := false
+	for _, w := range catalog {
+		res, err := workload.Run(w, workload.Params{Tier: tier, Seed: *seed, Backend: *backend})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+			os.Exit(2)
+		}
+		printResult(report, res)
+		if res.Failed() {
+			failed = true
+		}
+		if *bench {
+			fmt.Println(benchLine(res))
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "qbench: FAIL — correctness expectation violated")
+		os.Exit(1)
+	}
+}
+
+func listCatalog(w io.Writer, catalog []workload.Workload, p workload.Params) {
+	fmt.Fprintf(w, "%d workloads (%s tier, seed %d):\n", len(catalog), p.Tier, p.Seed)
+	for _, wl := range catalog {
+		inst, err := wl.Build(p)
+		if err != nil {
+			fmt.Fprintf(w, "  %-18s build error: %v\n", wl.Name, err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s n=%-3d circuits=%-3d gates=%d\n",
+			wl.Name, inst.Qubits, len(inst.Circuits), countGates(inst))
+		fmt.Fprintf(w, "  %-18s stresses: %s\n", "", wl.Stresses)
+		fmt.Fprintf(w, "  %-18s expects:  %s\n", "", wl.Expectation)
+	}
+}
+
+func countGates(inst *workload.Instance) int {
+	n := 0
+	for _, c := range inst.Circuits {
+		n += len(c.Gates)
+	}
+	return n
+}
+
+func printResult(w io.Writer, r *workload.Result) {
+	fmt.Fprintf(w, "workload %s [%s, %s]: n=%d gates=%d elapsed=%v\n",
+		r.Workload, r.Tier, r.Backend, r.Qubits, r.Gates, r.Elapsed.Round(time100us))
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			fmt.Fprintf(w, "  FAIL %-38s %v\n", c.Name, c.Err)
+		} else {
+			fmt.Fprintf(w, "  ok   %-38s got %.6g, want %s\n", c.Name, c.Got, c.Want)
+		}
+	}
+	tp := r.Throughput()
+	units := make([]string, 0, len(tp))
+	for u := range tp {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	parts := make([]string, len(units))
+	for i, u := range units {
+		parts[i] = fmt.Sprintf("%s=%.3g", u, tp[u])
+	}
+	fmt.Fprintf(w, "  throughput: %s\n", strings.Join(parts, " "))
+}
+
+const time100us = 100000 // 100µs in ns, for Duration.Round
+
+// benchLine renders the result as one `go test -bench` output line, the
+// format cmd/benchjson parses: name, iteration count, then value/unit
+// pairs. ns/op is what -compare gates on; the throughput units ride along.
+func benchLine(r *workload.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BenchmarkWorkload/%s/%s \t1\t%d ns/op", r.Workload, r.Tier, r.Elapsed.Nanoseconds())
+	tp := r.Throughput()
+	units := make([]string, 0, len(tp))
+	for u := range tp {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		fmt.Fprintf(&b, "\t%g %s", tp[u], u)
+	}
+	return b.String()
+}

@@ -206,6 +206,27 @@ func AccessCacheStats() (hits, misses int64) {
 	return accessCache.hits, accessCache.misses
 }
 
+// AccessCacheCounters is a point-in-time reading of the plan-analysis
+// cache counters. Harnesses that share the process-global cache (qbench's
+// parameter-sweep workloads, the oocvec pipeline tests) take one before a
+// phase and difference after, instead of flushing the cache out from under
+// concurrent users.
+type AccessCacheCounters struct {
+	Hits, Misses int64
+}
+
+// SnapshotAccessCache returns the current cumulative counters.
+func SnapshotAccessCache() AccessCacheCounters {
+	h, m := AccessCacheStats()
+	return AccessCacheCounters{Hits: h, Misses: m}
+}
+
+// Delta returns the counter movement since the snapshot c was taken.
+func (c AccessCacheCounters) Delta() AccessCacheCounters {
+	now := SnapshotAccessCache()
+	return AccessCacheCounters{Hits: now.Hits - c.Hits, Misses: now.Misses - c.Misses}
+}
+
 // FlushAccessCache empties the plan-analysis cache and zeroes its
 // counters — for tests and long-running servers cycling many circuit
 // shapes.

@@ -243,6 +243,35 @@ func TestAccessMapCacheAcrossParameterSweep(t *testing.T) {
 	checkAccessInvariants(t, p1)
 }
 
+// TestAccessCacheSnapshotDelta covers the snapshot/delta reading the qbench
+// sweep harness uses: counters observed as a difference between two
+// snapshots, without flushing the shared cache.
+func TestAccessCacheSnapshotDelta(t *testing.T) {
+	FlushAccessCache()
+	t.Cleanup(FlushAccessCache)
+	before := SnapshotAccessCache()
+	build := func(theta float64) *Plan {
+		plan, err := Build(parameterizedCircuit(10, theta), DefaultOptions(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := build(0.1 * float64(i+1)).AccessMap(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := before.Delta()
+	if d.Misses != 1 || d.Hits != 3 {
+		t.Errorf("delta hits=%d misses=%d, want 3/1", d.Hits, d.Misses)
+	}
+	// A fresh snapshot sees no further movement.
+	if d2 := SnapshotAccessCache().Delta(); d2.Hits != 0 || d2.Misses != 0 {
+		t.Errorf("idle delta hits=%d misses=%d, want 0/0", d2.Hits, d2.Misses)
+	}
+}
+
 // parameterizedCircuit is a QAOA-shaped layered circuit: mixing rotations
 // and entangling phase gates whose angles are all derived from theta.
 func parameterizedCircuit(n int, theta float64) *circuit.Circuit {

@@ -102,6 +102,27 @@ func Library(n int, seed int64) []*circuit.Circuit {
 	}
 }
 
+// Catalog returns small instances of the cmd/qbench workload families —
+// QAOA MaxCut on a ring, the hardware-efficient VQE ansatz, and a
+// Pauli-noise-injected supremacy trajectory — so every backend in the
+// differential matrix is exercised on the exact circuit shapes the
+// benchmark catalog times. All three draw only from the serializable,
+// invertible gate set.
+func Catalog(n int, seed int64) []*circuit.Circuit {
+	sets := circuit.SweepParams(seed+300, 2, 4)
+	qaoa := circuit.QAOAMaxCutRing(n, sets[1][:2], sets[1][2:])
+	vqe := circuit.HardwareEfficientAnsatz(n, 2, circuit.SweepParams(seed+400, 2, 2*n)[1])
+	rows, cols := circuit.GridForQubits(n)
+	sup := circuit.Supremacy(circuit.SupremacyOptions{
+		Rows: rows, Cols: cols, Depth: 10, Seed: seed + 200,
+	})
+	return []*circuit.Circuit{
+		qaoa,
+		vqe,
+		circuit.InjectPauliNoise(sup, 0.02, seed+500),
+	}
+}
+
 // Inverse returns the exact inverse circuit, for the run-then-undo
 // metamorphic property. All serializable kinds plus custom diagonal and
 // unitary gates are supported; it errors on kinds it cannot invert.

@@ -180,7 +180,7 @@ func Run(opts Options) (*Report, error) {
 	rep := &Report{Differential: engine}
 
 	// Phase 1: differential matrix over seeded random + library circuits.
-	logf("phase 1: differential matrix (%d random + library circuits, %d backends)",
+	logf("phase 1: differential matrix (%d random + library + catalog circuits, %d backends)",
 		opts.Circuits, len(backends))
 	for i := 0; i < opts.Circuits; i++ {
 		c := Random(RandomOptions{
@@ -194,6 +194,11 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	for _, c := range Library(opts.Qubits, opts.Seed) {
+		if err := engine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range Catalog(opts.Qubits, opts.Seed) {
 		if err := engine.Check(c); err != nil {
 			return rep, err
 		}
@@ -217,6 +222,11 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	for _, c := range Library(opts.Qubits, opts.Seed) {
+		if err := f32engine.Check(c); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range Catalog(opts.Qubits, opts.Seed) {
 		if err := f32engine.Check(c); err != nil {
 			return rep, err
 		}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"qusim/internal/circuit"
+	"qusim/internal/densitymatrix"
+	"qusim/internal/noise"
+)
+
+// noiseTrajectoryWorkload is the "studies of their behavior under noise"
+// use case: Monte Carlo Pauli-channel trajectories over a small supremacy
+// circuit. Trajectories always run through statevec (pure states are the
+// whole point of the unravelling — 2^n memory instead of 4^n), and the
+// trajectory-averaged mixed state is spot-checked against the exact
+// internal/densitymatrix evolution, which both tiers keep at n ≤ 8 so the
+// 4^n reference stays tractable. The fidelity estimate must also track the
+// first-order (1−p)^insertions prediction within the Monte Carlo error.
+func noiseTrajectoryWorkload() Workload {
+	return Workload{
+		Name:        "noise-trajectory",
+		Stresses:    "internal/noise trajectory sampling, internal/densitymatrix cross-check",
+		Expectation: "mean fidelity tracks (1−p)^g and trajectory-mean probs match the density matrix",
+		Build: func(p Params) (*Instance, error) {
+			rows, cols, depth, traj := 2, 3, 8, 64
+			if p.Tier == TierFull {
+				rows, cols, depth, traj = 2, 4, 10, 256
+			}
+			const errProb = 0.01
+			c := circuit.Supremacy(circuit.SupremacyOptions{
+				Rows: rows, Cols: cols, Depth: depth, Seed: p.Seed + 200,
+			})
+			n := rows * cols
+			inst := &Instance{Qubits: n, Circuits: []*circuit.Circuit{c}}
+			inst.Run = func(h *Harness) (*Result, error) {
+				r := &Result{Gates: traj * len(c.Gates), Work: map[string]float64{}, Values: map[string]float64{}}
+				ch := noise.Depolarizing(errProb)
+				rng := rand.New(rand.NewSource(p.Seed*0x2545f491 + 7))
+				res, err := noise.Run(c, ch, traj, false, rng)
+				if err != nil {
+					return nil, err
+				}
+				r.Values["mean-fidelity"] = res.MeanFidelity
+				r.checkBound("mean fidelity", res.MeanFidelity, 0, 1+1e-9)
+
+				expected := noise.ExpectedGateFidelity(c, ch)
+				r.Values["expected-fidelity"] = expected
+				// Per-trajectory fidelity is bounded in [0,1], so the Monte
+				// Carlo error of the mean is at most 0.5/√T; gate at 5σ.
+				tol := 2.5 / math.Sqrt(float64(traj))
+				r.checkBound("fidelity vs (1-p)^g", res.MeanFidelity-expected, -tol, tol)
+
+				exact, err := densitymatrix.RunNoisy(c, ch, false)
+				if err != nil {
+					return nil, err
+				}
+				var l1 float64
+				for i, q := range exact.Probabilities() {
+					l1 += math.Abs(res.MeanProbs[i] - q)
+				}
+				r.Values["dm-l1"] = l1
+				// The L1 error of a T-trajectory mean over 2^n bins scales
+				// like √(2^n/T); measured ≈ 0.5·√(2^n/T) here, gated at 3×.
+				r.checkBound("trajectory mean vs density matrix (L1)", l1,
+					0, 1.5*math.Sqrt(float64(int(1)<<n)/float64(traj)))
+
+				r.Work["traj"] = float64(traj)
+				r.Work["gates"] = float64(r.Gates)
+				r.Work["amps"] = float64(r.Gates) * float64(int(1)<<n)
+				return r, nil
+			}
+			return inst, nil
+		},
+	}
+}

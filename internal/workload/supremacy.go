@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"qusim/internal/circuit"
+	"qusim/internal/xeb"
+)
+
+// supremacyWorkload is the paper's Fig. 1 circuit family: a random
+// low-depth 2D supremacy circuit simulated end to end. The expectation is
+// structural — the output distribution of a chaotic circuit converges to
+// the Porter–Thomas shape, so the state entropy must sit near n·ln2−(1−γ)
+// and the Kolmogorov–Smirnov distance from the exponential law must be
+// small. Throughput is the paper's headline figure: amplitude updates per
+// second (Σ gates · 2^n / elapsed).
+func supremacyWorkload() Workload {
+	return Workload{
+		Name:        "supremacy",
+		Stresses:    "kernel suite, fusion scheduler, the paper's headline amps/s figure",
+		Expectation: "Porter–Thomas convergence: entropy within 5% of S_PT, KS distance ≤ 0.15",
+		Build: func(p Params) (*Instance, error) {
+			// Depth 24 is where these grids reliably anticoncentrate; at
+			// d16–d20 the KS distance still wanders up to ~0.16 seed-to-seed.
+			rows, cols, depth := 4, 4, 24
+			if p.Tier == TierFull {
+				rows, cols, depth = 5, 5, 24
+			}
+			c := circuit.Supremacy(circuit.SupremacyOptions{
+				Rows: rows, Cols: cols, Depth: depth, Seed: p.Seed,
+			})
+			n := rows * cols
+			inst := &Instance{Qubits: n, Circuits: []*circuit.Circuit{c}}
+			inst.Run = func(h *Harness) (*Result, error) {
+				r := &Result{Gates: len(c.Gates), Work: map[string]float64{}, Values: map[string]float64{}}
+				v, err := h.State(c)
+				if err != nil {
+					return nil, err
+				}
+				h.checkNorm(r, "state", v)
+				probs := v.Probabilities()
+
+				entropy := v.Entropy()
+				spt := xeb.PorterThomasEntropy(n)
+				r.Values["entropy"] = entropy
+				r.checkBound("entropy/S_PT", entropy/spt, 0.95, 1.05)
+
+				ks := xeb.PorterThomasKS(probs)
+				r.Values["pt-ks"] = ks
+				r.checkBound("Porter-Thomas KS", ks, 0, 0.15)
+
+				r.Work["amps"] = float64(len(c.Gates)) * float64(int(1)<<n)
+				r.Work["gates"] = float64(len(c.Gates))
+				return r, nil
+			}
+			return inst, nil
+		},
+	}
+}

@@ -1,0 +1,212 @@
+// Package workload is the named-workload benchmark catalog behind
+// cmd/qbench: the scenario spread a production simulator actually serves —
+// supremacy sampling (paper Fig. 1), cross-entropy fidelity estimation
+// (internal/xeb), stochastic noise trajectories (internal/noise, spot-checked
+// against internal/densitymatrix), and QAOA/VQE parameter sweeps that stress
+// the StructureFingerprint plan-analysis cache — rather than the single
+// circuit family earlier perf PRs proved themselves against.
+//
+// Every catalog entry is built deterministically from a seed, carries a
+// correctness expectation checked on every run (closed-form anchors,
+// statistical bounds with wide margins), and reports throughput figures
+// (amps/s, gates/s, sweeps/s, …) that cmd/qbench emits in `go test -bench`
+// format for the benchjson pipeline. Small instances of each family are
+// also enrolled in internal/verify's differential matrix, so qverify
+// cross-checks catalog circuits across every backend, not just random ones.
+package workload
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+
+	"qusim/internal/circuit"
+)
+
+// Tier selects the instance size: TierQuick fits shared CI runners in
+// seconds, TierFull sizes for a real host (and the nightly workflow).
+type Tier int
+
+const (
+	TierQuick Tier = iota
+	TierFull
+)
+
+func (t Tier) String() string {
+	if t == TierFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// Params configures one catalog run. The zero value is the quick tier on
+// the default statevec backend with seed 0; cmd/qbench defaults seed to 1.
+type Params struct {
+	Tier Tier
+	// Seed derives every circuit, parameter set, sampler and trajectory
+	// stream; equal seeds replay byte-identical circuits and bit-identical
+	// check values.
+	Seed int64
+	// Backend selects the execution path for the state runs: "statevec"
+	// (default), "f32vec", "dist", or "oocvec". The noise-trajectory
+	// workload always runs its trajectories through statevec (that is the
+	// subsystem it exercises).
+	Backend string
+}
+
+// Check is one correctness expectation evaluated by a workload run.
+type Check struct {
+	Name string  // what was checked
+	Got  float64 // observed value
+	Want string  // human-readable bound
+	Err  error   // nil = passed
+}
+
+// Result aggregates one workload run.
+type Result struct {
+	Workload string
+	Tier     string
+	Backend  string
+	Qubits   int
+	Gates    int // total gates simulated (summed over sweeps/trajectories)
+	Elapsed  time.Duration
+	// Work holds raw work counts by unit stem ("amps", "gates", "sweeps",
+	// "samples", "traj"); Throughput divides them by Elapsed.
+	Work map[string]float64
+	// Values holds the deterministic scalar outcomes (scores, energies,
+	// cache hits) — bit-identical across same-seed runs, unlike timings.
+	Values map[string]float64
+	Checks []Check
+}
+
+// Failed reports whether any correctness expectation failed.
+func (r *Result) Failed() bool {
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Throughput derives the per-second figures from the work counts: unit stem
+// "amps" becomes "amps/s", and so on.
+func (r *Result) Throughput() map[string]float64 {
+	s := r.Elapsed.Seconds()
+	if s <= 0 {
+		s = 1e-9
+	}
+	out := make(map[string]float64, len(r.Work))
+	for unit, v := range r.Work {
+		out[unit+"/s"] = v / s
+	}
+	return out
+}
+
+// check appends an expectation result; err nil means it passed.
+func (r *Result) check(name string, got float64, want string, err error) {
+	r.Checks = append(r.Checks, Check{Name: name, Got: got, Want: want, Err: err})
+}
+
+// checkBound appends a pass/fail on lo ≤ got ≤ hi.
+func (r *Result) checkBound(name string, got, lo, hi float64) {
+	want := fmt.Sprintf("[%g, %g]", lo, hi)
+	var err error
+	if got < lo || got > hi || got != got {
+		err = fmt.Errorf("%s = %v outside %s", name, got, want)
+	}
+	r.check(name, got, want, err)
+}
+
+// Instance is one tier-sized, seeded realization of a workload: the
+// deterministic circuits plus the run closure that executes them through a
+// harness and scores the expectations.
+type Instance struct {
+	Qubits int
+	// Circuits lists every circuit the run executes, in order — the
+	// determinism tests serialize these and demand byte equality across
+	// same-seed builds.
+	Circuits []*circuit.Circuit
+	Run      func(h *Harness) (*Result, error)
+}
+
+// Workload is one named catalog entry.
+type Workload struct {
+	Name string
+	// Stresses says which subsystems the workload exercises (for -list and
+	// the README table).
+	Stresses string
+	// Expectation is the one-line correctness bound the run enforces.
+	Expectation string
+	Build       func(p Params) (*Instance, error)
+}
+
+// Catalog returns the named workload families, in reporting order.
+func Catalog() []Workload {
+	return []Workload{
+		supremacyWorkload(),
+		xebWorkload(),
+		noiseTrajectoryWorkload(),
+		qaoaSweepWorkload(),
+		vqeAnsatzWorkload(),
+	}
+}
+
+// ByName looks a workload up by its catalog name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Catalog() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Filter returns the catalog entries whose names match the regexp.
+func Filter(pattern string) ([]Workload, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("workload: bad filter %q: %v", pattern, err)
+	}
+	var out []Workload
+	for _, w := range Catalog() {
+		if re.MatchString(w.Name) {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Run builds the tier-sized instance and executes it, stamping identity and
+// timing onto the result. The clock covers simulation and scoring, not
+// circuit construction.
+func Run(w Workload, p Params) (*Result, error) {
+	inst, err := w.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: build: %v", w.Name, err)
+	}
+	h, err := NewHarness(p)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %v", w.Name, err)
+	}
+	start := time.Now()
+	res, err := inst.Run(h)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: run: %v", w.Name, err)
+	}
+	res.Elapsed = time.Since(start)
+	res.Workload = w.Name
+	res.Tier = p.Tier.String()
+	res.Backend = h.BackendName()
+	res.Qubits = inst.Qubits
+	return res, nil
+}
+
+// totalGates sums the gate counts of the instance circuits.
+func totalGates(cs []*circuit.Circuit) int {
+	n := 0
+	for _, c := range cs {
+		n += len(c.Gates)
+	}
+	return n
+}

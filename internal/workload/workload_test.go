@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"qusim/internal/circuit"
+)
+
+func TestCatalogNamesAndOrder(t *testing.T) {
+	want := []string{"supremacy", "xeb", "noise-trajectory", "qaoa-sweep", "vqe-ansatz"}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d workloads, want %d", len(cat), len(want))
+	}
+	for i, w := range cat {
+		if w.Name != want[i] {
+			t.Errorf("catalog[%d] = %q, want %q", i, w.Name, want[i])
+		}
+		if w.Stresses == "" || w.Expectation == "" || w.Build == nil {
+			t.Errorf("workload %q missing metadata", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("xeb"); !ok {
+		t.Error("ByName(xeb) not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) unexpectedly found")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	got, err := Filter("sweep|ansatz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "qaoa-sweep" || got[1].Name != "vqe-ansatz" {
+		names := make([]string, len(got))
+		for i, w := range got {
+			names[i] = w.Name
+		}
+		t.Errorf("Filter(sweep|ansatz) = %v", names)
+	}
+	if _, err := Filter("("); err == nil {
+		t.Error("Filter with invalid regexp did not error")
+	}
+}
+
+// TestBuildDeterminism: the same Params must construct byte-identical
+// circuits — the property that makes a workload name plus a seed a complete
+// reproducer for any regression it flags.
+func TestBuildDeterminism(t *testing.T) {
+	p := Params{Tier: TierQuick, Seed: 7}
+	for _, w := range Catalog() {
+		a, err := w.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		b, err := w.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(a.Circuits) != len(b.Circuits) {
+			t.Fatalf("%s: circuit count %d vs %d", w.Name, len(a.Circuits), len(b.Circuits))
+		}
+		for i := range a.Circuits {
+			var ba, bb bytes.Buffer
+			if err := circuit.WriteText(&ba, a.Circuits[i]); err != nil {
+				t.Fatalf("%s circuit %d: %v", w.Name, i, err)
+			}
+			if err := circuit.WriteText(&bb, b.Circuits[i]); err != nil {
+				t.Fatalf("%s circuit %d: %v", w.Name, i, err)
+			}
+			if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+				t.Errorf("%s circuit %d: serialization differs between builds", w.Name, i)
+			}
+		}
+		// Compare the last circuit across seeds: the sweep workloads' first
+		// circuit is the all-zeros anchor, identical for every seed by design.
+		c, err := w.Build(Params{Tier: TierQuick, Seed: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		last := len(a.Circuits) - 1
+		var ba, bc bytes.Buffer
+		if err := circuit.WriteText(&ba, a.Circuits[last]); err != nil {
+			t.Fatal(err)
+		}
+		if err := circuit.WriteText(&bc, c.Circuits[last]); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+			t.Errorf("%s: seeds 7 and 8 built identical circuits", w.Name)
+		}
+	}
+}
+
+// TestRunDeterminism: the same Params must reproduce bit-identical check
+// values — every sampler and noise draw is seeded from Params.Seed.
+func TestRunDeterminism(t *testing.T) {
+	for _, name := range []string{"xeb", "noise-trajectory"} {
+		w, _ := ByName(name)
+		p := Params{Tier: TierQuick, Seed: 3}
+		a, err := Run(w, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Run(w, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a.Values) == 0 || len(a.Values) != len(b.Values) {
+			t.Fatalf("%s: value maps differ in size (%d vs %d)", name, len(a.Values), len(b.Values))
+		}
+		for k, va := range a.Values {
+			if vb, ok := b.Values[k]; !ok || va != vb {
+				t.Errorf("%s: value %q = %v then %v", name, k, va, vb)
+			}
+		}
+	}
+}
+
+// TestQuickCatalogPasses runs every workload at the quick tier on the
+// default backend and requires every expectation to hold.
+func TestQuickCatalogPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick catalog run skipped in -short mode")
+	}
+	for _, w := range Catalog() {
+		r, err := Run(w, Params{Tier: TierQuick, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, c := range r.Checks {
+			if c.Err != nil {
+				t.Errorf("%s: %s: %v", w.Name, c.Name, c.Err)
+			}
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("%s: non-positive elapsed %v", w.Name, r.Elapsed)
+		}
+		if len(r.Throughput()) == 0 {
+			t.Errorf("%s: no throughput units", w.Name)
+		}
+	}
+}
+
+// TestBackendsRunXEB pushes one real workload through every execution path
+// the harness can select, so backend plumbing (f32 tolerances included)
+// stays covered by `go test` alone.
+func TestBackendsRunXEB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-backend run skipped in -short mode")
+	}
+	w, _ := ByName("xeb")
+	for _, b := range Backends() {
+		r, err := Run(w, Params{Tier: TierQuick, Seed: 1, Backend: b})
+		if err != nil {
+			t.Fatalf("backend %s: %v", b, err)
+		}
+		if r.Failed() {
+			for _, c := range r.Checks {
+				if c.Err != nil {
+					t.Errorf("backend %s: %s: %v", b, c.Name, c.Err)
+				}
+			}
+		}
+		if r.Backend == "" {
+			t.Errorf("backend %s: result backend label empty", b)
+		}
+	}
+}
+
+func TestUnknownBackend(t *testing.T) {
+	w, _ := ByName("xeb")
+	if _, err := Run(w, Params{Tier: TierQuick, Seed: 1, Backend: "fpga"}); err == nil {
+		t.Error("unknown backend did not error")
+	} else if !strings.Contains(err.Error(), "fpga") {
+		t.Errorf("error %q does not name the unknown backend", err)
+	}
+}
+
+func TestResultChecksAndThroughput(t *testing.T) {
+	r := &Result{Elapsed: 2 * time.Second, Work: map[string]float64{"amps": 10}}
+	r.checkBound("in", 1, 0, 2)
+	r.checkBound("out", 3, 0, 2)
+	r.check("nan", math.NaN(), "finite", nil)
+	if !r.Failed() {
+		t.Error("Failed() = false with a violated bound")
+	}
+	var fails int
+	for _, c := range r.Checks {
+		if c.Err != nil {
+			fails++
+		}
+	}
+	if fails != 1 {
+		t.Errorf("got %d failing checks, want 1", fails)
+	}
+	tp := r.Throughput()
+	if got := tp["amps/s"]; got != 5 {
+		t.Errorf("amps/s = %v, want 5", got)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierQuick.String() != "quick" || TierFull.String() != "full" {
+		t.Errorf("tier strings: %q, %q", TierQuick, TierFull)
+	}
+}
