@@ -15,22 +15,23 @@ import (
 // A benchmark is a regression when its ns/op grew by more than the
 // threshold percentage; any regression makes the exit status 1, which is
 // how the CI workload-smoke job turns a committed BENCH_workloads.json
-// baseline into a perf gate. Benchmarks missing from the new document are
-// reported but not fatal (a renamed workload should not brick CI), unless
-// -require-all is set.
+// baseline into a perf gate. Benchmarks present in only one of the two
+// documents appear in the table as "removed" (baseline-only) or "added"
+// (new-only) rows rather than being dropped; removed ones are not fatal
+// (a renamed workload should not brick CI) unless -require-all is set.
 
 // comparison is one benchmark's old-vs-new verdict.
 type comparison struct {
 	Name     string
 	Old, New float64 // ns/op; 0 when the side is absent
 	DeltaPct float64 // (new/old − 1) · 100
-	Status   string  // "ok", "regression", "improved", "missing", "new"
+	Status   string  // "ok", "regression", "improved", "removed", "added"
 }
 
 func runCompare(args []string) int {
 	fs := flag.NewFlagSet("benchjson -compare", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 10, "regression threshold in percent of ns/op growth")
-	requireAll := fs.Bool("require-all", false, "treat benchmarks missing from the new document as failures")
+	requireAll := fs.Bool("require-all", false, "treat benchmarks removed from the new document as failures")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson -compare [flags] old.json new.json")
 		fs.PrintDefaults()
@@ -69,7 +70,7 @@ func runCompare(args []string) int {
 	writeMarkdown(os.Stdout, comps, *threshold)
 	fail := false
 	for _, c := range comps {
-		if c.Status == "regression" || (*requireAll && c.Status == "missing") {
+		if c.Status == "regression" || (*requireAll && c.Status == "removed") {
 			fail = true
 		}
 	}
@@ -108,10 +109,10 @@ func compareDocs(oldDoc, newDoc document, threshold float64) []comparison {
 		nb, ok := newBy[ob.Name]
 		switch {
 		case !ok:
-			c.Status = "missing"
+			c.Status = "removed"
 		case c.Old <= 0:
 			c.New = nb.Metrics["ns/op"]
-			c.Status = "new" // unusable baseline entry; treat as fresh
+			c.Status = "added" // unusable baseline entry; treat as fresh
 		default:
 			c.New = nb.Metrics["ns/op"]
 			c.DeltaPct = (c.New/c.Old - 1) * 100
@@ -128,10 +129,10 @@ func compareDocs(oldDoc, newDoc document, threshold float64) []comparison {
 	}
 	for _, nb := range newDoc.Benchmarks {
 		if !seen[nb.Name] {
-			out = append(out, comparison{Name: nb.Name, New: nb.Metrics["ns/op"], Status: "new"})
+			out = append(out, comparison{Name: nb.Name, New: nb.Metrics["ns/op"], Status: "added"})
 		}
 	}
-	rank := map[string]int{"regression": 0, "missing": 1, "ok": 2, "improved": 2, "new": 3}
+	rank := map[string]int{"regression": 0, "removed": 1, "ok": 2, "improved": 2, "added": 3}
 	sort.SliceStable(out, func(i, j int) bool {
 		if rank[out[i].Status] != rank[out[j].Status] {
 			return rank[out[i].Status] < rank[out[j].Status]

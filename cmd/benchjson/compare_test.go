@@ -44,8 +44,8 @@ func TestCompareDocsClassification(t *testing.T) {
 		"BenchmarkWorkload/supremacy/quick": "ok",
 		"BenchmarkWorkload/xeb/quick":       "regression",
 		"BenchmarkWorkload/noise/quick":     "improved",
-		"BenchmarkWorkload/gone/quick":      "missing",
-		"BenchmarkWorkload/fresh/quick":     "new",
+		"BenchmarkWorkload/gone/quick":      "removed",
+		"BenchmarkWorkload/fresh/quick":     "added",
 	}
 	for name, s := range want {
 		if got[name] != s {
@@ -107,10 +107,53 @@ func TestRunCompareMissingPolicy(t *testing.T) {
 	writeDoc(t, newPath, doc(map[string]float64{"A": 1000}))
 
 	if code := runCompare([]string{oldPath, newPath}); code != 0 {
-		t.Errorf("missing benchmark fatal by default: exit %d, want 0", code)
+		t.Errorf("removed benchmark fatal by default: exit %d, want 0", code)
 	}
 	if code := runCompare([]string{"-require-all", oldPath, newPath}); code != 1 {
-		t.Errorf("missing benchmark with -require-all: exit %d, want 1", code)
+		t.Errorf("removed benchmark with -require-all: exit %d, want 1", code)
+	}
+}
+
+// TestCompareDocsAsymmetricInputs pins the one-sided cases: every
+// benchmark present in only one document must surface as an added or
+// removed row — including when one side is entirely empty — rather than
+// silently vanishing from the table.
+func TestCompareDocsAsymmetricInputs(t *testing.T) {
+	oldDoc := doc(map[string]float64{"A": 1000, "B": 2000})
+	newDoc := doc(map[string]float64{"B": 2000, "C": 500})
+
+	comps := compareDocs(oldDoc, newDoc, 10)
+	if len(comps) != 3 {
+		t.Fatalf("got %d rows, want 3 (union of both documents)", len(comps))
+	}
+	got := statuses(comps)
+	for name, want := range map[string]string{"A": "removed", "B": "ok", "C": "added"} {
+		if got[name] != want {
+			t.Errorf("%s: status %q, want %q", name, got[name], want)
+		}
+	}
+
+	// Entirely empty sides: all-removed and all-added respectively.
+	for name, s := range statuses(compareDocs(oldDoc, doc(nil), 10)) {
+		if s != "removed" {
+			t.Errorf("empty new document: %s classified %q, want removed", name, s)
+		}
+	}
+	for name, s := range statuses(compareDocs(doc(nil), newDoc, 10)) {
+		if s != "added" {
+			t.Errorf("empty old document: %s classified %q, want added", name, s)
+		}
+	}
+
+	// The markdown table carries the one-sided rows with em-dash gaps on
+	// the absent side.
+	var sb strings.Builder
+	writeMarkdown(&sb, comps, 10)
+	out := sb.String()
+	for _, want := range []string{"| A | 1000 | — | — | removed |", "| C | — | 500 | — | added |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing row %q:\n%s", want, out)
+		}
 	}
 }
 
@@ -127,7 +170,7 @@ func TestWriteMarkdown(t *testing.T) {
 	var sb strings.Builder
 	writeMarkdown(&sb, []comparison{
 		{Name: "B/slow", Old: 100, New: 200, DeltaPct: 100, Status: "regression"},
-		{Name: "B/gone", Old: 100, Status: "missing"},
+		{Name: "B/gone", Old: 100, Status: "removed"},
 	}, 10)
 	out := sb.String()
 	for _, want := range []string{"| benchmark |", "**regression**", "+100.0%", "B/gone", "—"} {

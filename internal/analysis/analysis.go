@@ -70,11 +70,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a diagnostic at pos carrying suggested fixes.
+func (p *Pass) ReportFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with
+// newText, resolving positions through the pass's FileSet.
+func (p *Pass) Edit(from, to token.Pos, newText string) TextEdit {
+	pf := p.Fset.Position(from)
+	pt := p.Fset.Position(to)
+	return TextEdit{Filename: pf.Filename, Start: pf.Offset, End: pt.Offset, NewText: newText}
+}
+
 // Diagnostic is one finding, with its position already resolved.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fixes are machine-applicable remedies (may be empty). They are
+	// advisory: qlint -fix applies them, plain runs just report.
+	Fixes []SuggestedFix
 }
 
 // String renders the stable diagnostic format golden tests pin down:
@@ -88,9 +109,12 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicRename,
 		CollectiveOrder,
+		ErrWrap,
 		FSOps,
 		GlobalCleanup,
+		GoroutineLife,
 		HotAlloc,
+		LockScope,
 		NilSafeTelemetry,
 	}
 }
@@ -139,9 +163,23 @@ func knownNames() string {
 	return s
 }
 
+// RunConfig tunes one RunUnit invocation.
+type RunConfig struct {
+	// StrictIgnores turns stale //qlint:ignore directives — ones whose
+	// analyzer ran but produced no diagnostic they could suppress — into
+	// diagnostics of their own, so dead suppressions are exit-code
+	// visible instead of rotting in place.
+	StrictIgnores bool
+}
+
 // RunUnit applies the analyzers to one loaded unit and returns the
 // surviving diagnostics: suppressions applied, directive errors appended.
 func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	return RunUnitCfg(u, analyzers, RunConfig{})
+}
+
+// RunUnitCfg is RunUnit with explicit configuration.
+func RunUnitCfg(u *Unit, analyzers []*Analyzer, cfg RunConfig) []Diagnostic {
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -157,6 +195,26 @@ func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
 	dirs, dirDiags := collectDirectives(u)
 	out := filterSuppressed(raw, dirs)
 	out = append(out, dirDiags...)
+	if cfg.StrictIgnores {
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, dir := range dirs {
+			// Only judge directives whose analyzer actually ran this
+			// invocation: under -only a subset, the others are unknown,
+			// not stale.
+			if dir.used || !ran[dir.analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "qlint",
+				Message: fmt.Sprintf("stale qlint:ignore: no %s diagnostic fires here anymore — delete the directive",
+					dir.analyzer),
+			})
+		}
+	}
 	return out
 }
 

@@ -141,6 +141,9 @@ func TestFSOpsCorpus(t *testing.T)            { runCorpus(t, "fsops") }
 func TestNilSafeTelemetryCorpus(t *testing.T) { runCorpus(t, "nilsafetelemetry") }
 func TestGlobalCleanupCorpus(t *testing.T)    { runCorpus(t, "globalcleanup") }
 func TestHotAllocCorpus(t *testing.T)         { runCorpus(t, "hotalloc") }
+func TestErrWrapCorpus(t *testing.T)          { runCorpus(t, "errwrap") }
+func TestGoroutineLifeCorpus(t *testing.T)    { runCorpus(t, "goroutinelife") }
+func TestLockScopeCorpus(t *testing.T)        { runCorpus(t, "lockscope") }
 
 // TestDirectiveDiagnostics pins the directive parser's own diagnostics:
 // malformed //qlint:ignore comments are findings, not silent no-ops. The
@@ -154,8 +157,11 @@ func TestDirectiveDiagnostics(t *testing.T) {
 	}
 	expects := []expect{
 		{12, `^qlint: qlint:ignore needs an analyzer name and a reason$`},
-		{18, `^qlint: qlint:ignore names unknown analyzer gofmtcheck \(have atomicrename, collectiveorder, fsops, globalcleanup, hotalloc, nilsafetelemetry\)$`},
+		{18, `^qlint: qlint:ignore names unknown analyzer gofmtcheck \(have atomicrename, collectiveorder, errwrap, fsops, globalcleanup, goroutinelife, hotalloc, lockscope, nilsafetelemetry\)$`},
 		{25, `^qlint: qlint:ignore globalcleanup needs a reason \(why does the invariant not apply here\?\)$`},
+		// The multi-line edge case: a continuation comment on the next
+		// line is not the directive's reason.
+		{39, `^qlint: qlint:ignore globalcleanup needs a reason \(why does the invariant not apply here\?\)$`},
 	}
 	if len(diags) != len(expects) {
 		for _, d := range diags {

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The v2 engine's control-flow graph. PR 5's analyzers walked syntax and
+// approximated "can X happen before/after Y" with source positions; that
+// breaks down exactly where the repo's bugs live — early returns, branch
+// arms that never rejoin, loops that re-enter a lock region. BuildCFG
+// lowers one function body to basic blocks of statements with successor
+// edges, so analyzers ask reachability questions instead of comparing
+// line numbers.
+//
+// The model is deliberately sized for lint, not codegen:
+//
+//   - blocks hold ast.Stmt nodes in execution order; expressions are not
+//     decomposed (intra-statement evaluation order never matters to the
+//     analyzers);
+//   - if/else, for/range, switch/type-switch/select, return, break,
+//     continue and goto-free straight-line code are modeled exactly;
+//     labeled break/continue fall back to the innermost construct and a
+//     goto conservatively edges to the function exit (the repo has
+//     neither, and the approximation only ever adds edges — analyzers
+//     that key on reachability stay sound against false "unreachable"
+//     answers);
+//   - function literals are opaque single statements: they get their own
+//     CFG when an analyzer asks for one, mirroring walkBody's scoping;
+//   - panic calls end their block with an exit edge (a panicking path
+//     leaves the function).
+type CFG struct {
+	// Entry is the function's first block; Exit is the single synthetic
+	// block every return/panic/fall-off edge targets.
+	Entry, Exit *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+
+	// stmtBlock maps each statement to the block executing it.
+	stmtBlock map[ast.Stmt]*Block
+	// afterReturn maps each return statement to the block control would
+	// have reached had the return been a no-op — the "natural successor"
+	// path-sensitive desertion checks reason about.
+	afterReturn map[*ast.ReturnStmt]*Block
+}
+
+// Block is one straight-line run of statements.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Block
+}
+
+// cfgBuilder carries the loop/switch context while lowering.
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block
+	// break/continue targets of the innermost enclosing constructs.
+	breakTo    []*Block
+	continueTo []*Block
+}
+
+// BuildCFG lowers one function body. The body may be a FuncDecl's or a
+// FuncLit's; nested literals are not descended into.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{
+		stmtBlock:   map[ast.Stmt]*Block{},
+		afterReturn: map[*ast.ReturnStmt]*Block{},
+	}
+	b := &cfgBuilder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = &Block{}
+	b.cur = g.Entry
+	last := b.stmts(body.List)
+	// Fall-off-the-end edge.
+	b.edge(last, g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge appends an edge from → to, tolerating a nil from (unreachable
+// code after a terminator keeps building into a fresh detached block).
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts lowers a statement list starting at b.cur and returns the block
+// holding control after the list (nil when every path terminated).
+func (b *cfgBuilder) stmts(list []ast.Stmt) *Block {
+	for _, s := range list {
+		if b.cur == nil {
+			// Dead code after a terminator still gets blocks (analyzers
+			// may ask about it), just no incoming edge.
+			b.cur = b.newBlock()
+		}
+		b.stmt(s)
+	}
+	return b.cur
+}
+
+// stmt lowers one statement, updating b.cur (nil when control left).
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	g := b.g
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	g.stmtBlock[s] = b.cur
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		after := b.newBlock()
+		g.afterReturn[st] = after
+		b.edge(b.cur, g.Exit)
+		// No edge into after: it is the would-be successor, reachable
+		// only in the hypothetical where the return is removed. Control
+		// resumes building there so the rest of the list lands in it.
+		b.cur = after
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if n := len(b.breakTo); n > 0 {
+				b.edge(b.cur, b.breakTo[n-1])
+			} else {
+				b.edge(b.cur, g.Exit)
+			}
+		case token.CONTINUE:
+			if n := len(b.continueTo); n > 0 {
+				b.edge(b.cur, b.continueTo[n-1])
+			} else {
+				b.edge(b.cur, g.Exit)
+			}
+		case token.FALLTHROUGH:
+			// Leave the block open: the switch lowering sees the case end
+			// and edges it into the next case instead of the after-block.
+			return
+		case token.GOTO:
+			// Conservative exit edge.
+			b.edge(b.cur, g.Exit)
+		}
+		b.cur = nil
+	case *ast.IfStmt:
+		b.lowerIf(st)
+	case *ast.ForStmt:
+		b.lowerFor(st)
+	case *ast.RangeStmt:
+		b.lowerRange(st)
+	case *ast.SwitchStmt:
+		b.lowerSwitch(st.Body, switchHasDefault(st.Body))
+	case *ast.TypeSwitchStmt:
+		b.lowerSwitch(st.Body, switchHasDefault(st.Body))
+	case *ast.SelectStmt:
+		b.lowerSelect(st)
+	case *ast.BlockStmt:
+		b.cur = b.stmts(st.List)
+	case *ast.LabeledStmt:
+		b.stmt(st.Stmt)
+	case *ast.ExprStmt:
+		if isPanicCall(st.X) {
+			b.edge(b.cur, g.Exit)
+			b.cur = nil
+		}
+	}
+}
+
+func (b *cfgBuilder) lowerIf(st *ast.IfStmt) {
+	// Init statement (if any) and the condition run in the current block
+	// (already appended). Arms get their own blocks; join after.
+	cond := b.cur
+	join := b.newBlock()
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.edge(b.stmts(st.Body.List), join)
+	if st.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(st.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) lowerFor(st *ast.ForStmt) {
+	head := b.cur
+	bodyBlk := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, bodyBlk)
+	if st.Cond != nil {
+		// Condition may be false on entry. A condition-free for{} reaches
+		// the after-block only via break, which adds its own edge.
+		b.edge(head, after)
+	}
+	b.breakTo = append(b.breakTo, after)
+	b.continueTo = append(b.continueTo, bodyBlk)
+	b.cur = bodyBlk
+	end := b.stmts(st.Body.List)
+	b.edge(end, bodyBlk) // back edge (through post/cond re-check)
+	if st.Cond != nil {
+		b.edge(end, after)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) lowerRange(st *ast.RangeStmt) {
+	head := b.cur
+	bodyBlk := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, bodyBlk)
+	b.edge(head, after) // empty range
+	b.breakTo = append(b.breakTo, after)
+	b.continueTo = append(b.continueTo, bodyBlk)
+	b.cur = bodyBlk
+	end := b.stmts(st.Body.List)
+	b.edge(end, bodyBlk)
+	b.edge(end, after)
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) lowerSwitch(body *ast.BlockStmt, hasDefault bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakTo = append(b.breakTo, after)
+	var caseEnds []*Block
+	var caseStarts []*Block
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.g.stmtBlock[cc] = blk
+		caseStarts = append(caseStarts, blk)
+		b.edge(head, blk)
+		b.cur = blk
+		end := b.stmts(cc.Body)
+		// fallthrough edges to the next case are added below when the
+		// terminator was a fallthrough; a plain end edges to after.
+		caseEnds = append(caseEnds, end)
+	}
+	for i, end := range caseEnds {
+		if end == nil {
+			continue
+		}
+		if fallsThrough(body.List[i]) && i+1 < len(caseStarts) {
+			b.edge(end, caseStarts[i+1])
+		} else {
+			b.edge(end, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+// fallsThrough reports whether a case clause ends in a fallthrough.
+func fallsThrough(cs ast.Stmt) bool {
+	cc, ok := cs.(*ast.CaseClause)
+	if !ok || len(cc.Body) == 0 {
+		return false
+	}
+	br, ok := cc.Body[len(cc.Body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) lowerSelect(st *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakTo = append(b.breakTo, after)
+	hasDefault := false
+	for _, cs := range st.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.g.stmtBlock[cc] = blk
+		if cc.Comm != nil {
+			blk.Stmts = append(blk.Stmts, cc.Comm)
+			b.g.stmtBlock[cc.Comm] = blk
+		}
+		b.edge(head, blk)
+		b.cur = blk
+		b.edge(b.stmts(cc.Body), after)
+	}
+	// A select with no default blocks until a case fires; every exit is
+	// through a case, so no head → after edge either way (a case always
+	// exists in well-formed code). With a default the default case IS one
+	// of the clauses, already edged.
+	_ = hasDefault
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+// switchHasDefault reports whether a switch/type-switch body has a
+// default clause.
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether an expression statement is a direct call to
+// the predeclared panic (identifier match; shadowing panic would be its
+// own crime).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// BlockOf returns the block executing stmt (nil when stmt is not in this
+// CFG — e.g. inside a nested function literal).
+func (g *CFG) BlockOf(s ast.Stmt) *Block { return g.stmtBlock[s] }
+
+// AfterReturn returns the natural-successor block of a return statement:
+// where control would resume had the return not fired. Desertion checks
+// use it to ask "what would this rank have executed next".
+func (g *CFG) AfterReturn(r *ast.ReturnStmt) *Block { return g.afterReturn[r] }
+
+// Reachable computes the block set reachable from `from` (inclusive).
+func (g *CFG) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	if from == nil {
+		return seen
+	}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// ReachableFromAny unions Reachable over several start blocks.
+func (g *CFG) ReachableFromAny(from []*Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	for _, f := range from {
+		for b := range g.Reachable(f) {
+			seen[b] = true
+		}
+	}
+	return seen
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `src` as the body of func f in a scratch package and
+// returns the block plus the file's AST for statement lookup.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", file, 0)
+	if err != nil {
+		t.Fatalf("parsing scratch body: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// findStmt returns the first statement in body (descending into nested
+// blocks) for which pred is true.
+func findStmt(body *ast.BlockStmt, pred func(ast.Stmt) bool) ast.Stmt {
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && pred(s) {
+			found = s
+		}
+		return found == nil
+	})
+	return found
+}
+
+func callNamed(name string) func(ast.Stmt) bool {
+	return func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// reaches reports whether the block of `to` is reachable from the block
+// of `from` in g.
+func reaches(g *CFG, from, to ast.Stmt) bool {
+	fb, tb := g.BlockOf(from), g.BlockOf(to)
+	if fb == nil || tb == nil {
+		return false
+	}
+	return g.Reachable(fb)[tb]
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	body := parseBody(t, "a()\nb()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	if g.BlockOf(a) != g.BlockOf(bs) {
+		t.Error("straight-line statements split across blocks")
+	}
+	if g.BlockOf(a) != g.Entry {
+		t.Error("first statement not in the entry block")
+	}
+	if !g.Reachable(g.Entry)[g.Exit] {
+		t.Error("exit not reachable from entry")
+	}
+}
+
+func TestCFGIfJoin(t *testing.T) {
+	body := parseBody(t, "if cond() {\n\ta()\n} else {\n\tb()\n}\nc()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	c := findStmt(body, callNamed("c"))
+	if g.BlockOf(a) == g.BlockOf(bs) {
+		t.Error("if arms share a block")
+	}
+	if !reaches(g, a, c) || !reaches(g, bs, c) {
+		t.Error("join after if not reachable from both arms")
+	}
+	if reaches(g, a, bs) || reaches(g, bs, a) {
+		t.Error("one if arm reaches the other")
+	}
+}
+
+func TestCFGAfterReturn(t *testing.T) {
+	// The return's natural successor resumes at the statements the rank
+	// would have executed — here b() — while the real edge goes to Exit.
+	body := parseBody(t, "if cond() {\n\treturn\n}\nb()")
+	g := BuildCFG(body)
+	ret := findStmt(body, func(s ast.Stmt) bool { _, ok := s.(*ast.ReturnStmt); return ok }).(*ast.ReturnStmt)
+	bs := findStmt(body, callNamed("b"))
+	after := g.AfterReturn(ret)
+	if after == nil {
+		t.Fatal("return has no natural-successor block")
+	}
+	if !g.Reachable(after)[g.BlockOf(bs)] {
+		t.Error("b() not reachable from the return's natural successor")
+	}
+	if !g.Reachable(g.BlockOf(ret))[g.Exit] {
+		t.Error("return block has no path to exit")
+	}
+	// The natural successor has no real incoming edge: it is hypothetical.
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == after {
+				t.Error("natural-successor block has a real incoming edge")
+			}
+		}
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	body := parseBody(t, "for i := 0; i < n; i++ {\n\ta()\n}\nb()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	if !reaches(g, a, a) {
+		t.Error("loop body cannot re-reach itself via the back edge")
+	}
+	if !reaches(g, a, bs) {
+		t.Error("statement after the loop unreachable from the body")
+	}
+}
+
+func TestCFGInfiniteLoopBreak(t *testing.T) {
+	body := parseBody(t, "for {\n\tif cond() {\n\t\tbreak\n\t}\n\ta()\n}\nb()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	if !reaches(g, a, bs) {
+		t.Error("break does not connect the loop to the after-block")
+	}
+	// Without the break a condition-free for{} would not reach b: assert
+	// the head has no direct edge into the after-block.
+	head := g.Entry
+	after := g.BlockOf(bs)
+	for _, s := range head.Succs {
+		if s == after {
+			t.Error("condition-free for{} has a direct head → after edge")
+		}
+	}
+}
+
+func TestCFGContinue(t *testing.T) {
+	body := parseBody(t, "for i := 0; i < n; i++ {\n\tif cond() {\n\t\tcontinue\n\t}\n\ta()\n}")
+	g := BuildCFG(body)
+	cont := findStmt(body, func(s ast.Stmt) bool {
+		br, ok := s.(*ast.BranchStmt)
+		return ok && br.Tok == token.CONTINUE
+	})
+	a := findStmt(body, callNamed("a"))
+	// continue re-enters the body, so a() is reachable again through the
+	// back edge — but not as the continue's direct fallthrough.
+	if !reaches(g, cont, a) {
+		t.Error("continue does not re-enter the loop body")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	body := parseBody(t, "for _, v := range xs {\n\ta(v)\n}\nb()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	if !reaches(g, a, a) {
+		t.Error("range body cannot re-reach itself")
+	}
+	if !reaches(g, a, bs) {
+		t.Error("statement after the range unreachable from the body")
+	}
+	// Empty range: the after-block must be reachable without entering the
+	// body at all.
+	if !g.Reachable(g.Entry)[g.BlockOf(bs)] {
+		t.Error("after-block unreachable when the range is empty")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	body := parseBody(t, "switch x {\ncase 1:\n\ta()\ncase 2:\n\tb()\n}\nc()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	c := findStmt(body, callNamed("c"))
+	if g.BlockOf(a) == g.BlockOf(bs) {
+		t.Error("switch cases share a block")
+	}
+	if !reaches(g, a, c) || !reaches(g, bs, c) {
+		t.Error("after-switch unreachable from a case")
+	}
+	if reaches(g, a, bs) {
+		t.Error("non-fallthrough case reaches the next case")
+	}
+	// No default: the head must skip to after directly.
+	if !g.Reachable(g.Entry)[g.BlockOf(c)] {
+		t.Error("defaultless switch cannot skip every case")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	body := parseBody(t, "switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	if !reaches(g, a, bs) {
+		t.Error("fallthrough does not edge into the next case")
+	}
+	if !switchHasDefault(body.List[0].(*ast.SwitchStmt).Body) {
+		t.Error("switchHasDefault missed the default clause")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	body := parseBody(t, "select {\ncase v := <-ch:\n\ta(v)\ncase ch2 <- 1:\n\tb()\n}\nc()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	c := findStmt(body, callNamed("c"))
+	if g.BlockOf(a) == g.BlockOf(bs) {
+		t.Error("select cases share a block")
+	}
+	if !reaches(g, a, c) || !reaches(g, bs, c) {
+		t.Error("after-select unreachable from a case")
+	}
+	// The comm statements themselves belong to their case's block.
+	recv := findStmt(body, func(s ast.Stmt) bool { _, ok := s.(*ast.AssignStmt); return ok })
+	if g.BlockOf(recv) == nil || g.BlockOf(recv) != g.BlockOf(a) {
+		t.Error("comm statement not placed in its case block")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	body := parseBody(t, "if cond() {\n\tpanic(\"boom\")\n}\nb()")
+	g := BuildCFG(body)
+	p := findStmt(body, callNamed("panic"))
+	bs := findStmt(body, callNamed("b"))
+	if reaches(g, p, bs) {
+		t.Error("panic block falls through to the next statement")
+	}
+	if !g.Reachable(g.BlockOf(p))[g.Exit] {
+		t.Error("panic block has no exit edge")
+	}
+}
+
+func TestCFGTypeSwitchAndLabeled(t *testing.T) {
+	body := parseBody(t, "loop:\n\tfor {\n\t\tswitch y := x.(type) {\n\t\tcase int:\n\t\t\ta(y)\n\t\tdefault:\n\t\t\tbreak loop\n\t\t}\n\t}\nb()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	// Labeled break falls back to the innermost construct — here the
+	// switch, whose after-block re-enters the loop; b() stays reachable
+	// through the loop's own break handling (conservative, adds edges).
+	if g.BlockOf(a) == nil {
+		t.Fatal("type-switch case body not lowered")
+	}
+	if !g.Reachable(g.Entry)[g.BlockOf(a)] {
+		t.Error("type-switch case unreachable from entry")
+	}
+	_ = bs
+}
+
+func TestCFGReachableFromAny(t *testing.T) {
+	body := parseBody(t, "if cond() {\n\ta()\n} else {\n\tb()\n}\nc()")
+	g := BuildCFG(body)
+	a := findStmt(body, callNamed("a"))
+	bs := findStmt(body, callNamed("b"))
+	c := findStmt(body, callNamed("c"))
+	union := g.ReachableFromAny([]*Block{g.BlockOf(a), g.BlockOf(bs)})
+	if !union[g.BlockOf(a)] || !union[g.BlockOf(bs)] || !union[g.BlockOf(c)] {
+		t.Error("union of reachable sets misses a block")
+	}
+	if len(g.ReachableFromAny(nil)) != 0 {
+		t.Error("empty start set yields nonempty reachability")
+	}
+	if len(g.Reachable(nil)) != 0 {
+		t.Error("nil start block yields nonempty reachability")
+	}
+}
+
+func TestCFGDeadCodeAfterTerminator(t *testing.T) {
+	// Statements after an unconditional return still get blocks (analyzers
+	// may ask about them) but no incoming edges from live code.
+	body := parseBody(t, "return\nb()") //nolint — intentionally unreachable
+	g := BuildCFG(body)
+	bs := findStmt(body, callNamed("b"))
+	if g.BlockOf(bs) == nil {
+		t.Fatal("dead statement not assigned a block")
+	}
+	if g.Reachable(g.Entry)[g.BlockOf(bs)] {
+		t.Error("dead code reachable from entry")
+	}
+}
+
+func TestCFGBlocksInvariant(t *testing.T) {
+	body := parseBody(t, "if cond() {\n\ta()\n}\nfor range xs {\n\tb()\n}")
+	g := BuildCFG(body)
+	if g.Blocks[0] != g.Entry {
+		t.Error("Blocks[0] is not Entry")
+	}
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Error("Blocks does not end with Exit")
+	}
+	seen := map[int]bool{}
+	for _, blk := range g.Blocks {
+		if seen[blk.Index] {
+			t.Errorf("duplicate block index %d", blk.Index)
+		}
+		seen[blk.Index] = true
+	}
+}

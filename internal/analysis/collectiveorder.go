@@ -248,6 +248,13 @@ func checkRunClosures(pass *Pass, f *ast.File) {
 	})
 }
 
+// checkEarlySuccessReturns is path-sensitive over the closure's CFG: a
+// conditional `return nil` is a desertion only when a collective is
+// reachable from the return's natural successor — the path the rank
+// WOULD have executed had it not returned. The v1 check compared source
+// positions (`collective after the return's end`), which misfired on
+// nested arms whose every path returns before the collective; the CFG
+// answers the reachability question exactly.
 func checkEarlySuccessReturns(pass *Pass, body *ast.BlockStmt) {
 	// Every branch body is a "conditional" region; a `return nil` inside
 	// one is reachable by a subset of ranks only (error returns are exempt:
@@ -265,37 +272,51 @@ func checkEarlySuccessReturns(pass *Pass, body *ast.BlockStmt) {
 	if len(branches) == 0 {
 		return
 	}
-	var collectives []*ast.CallExpr
-	var nilReturns []*ast.ReturnStmt
+	g := BuildCFG(body)
 	walkBody(body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.CallExpr:
-			if collectiveCallee(pass.Info, s) != "" {
-				collectives = append(collectives, s)
-			}
-		case *ast.ReturnStmt:
-			if !allNil(pass.Info, s.Results) {
-				return true
-			}
-			for _, b := range branches {
-				if b.contains(s.Pos()) {
-					nilReturns = append(nilReturns, s)
-					break
-				}
-			}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || !allNil(pass.Info, ret.Results) {
+			return true
 		}
-		return true
-	})
-	for _, ret := range nilReturns {
-		for _, call := range collectives {
-			if call.Pos() > ret.End() {
-				pass.Reportf(ret.Pos(),
-					"conditional `return nil` inside World.Run closure skips the mpi.%s at line %d on ranks that take it: success returns do not poison the world, so the remaining ranks block forever",
-					collectiveCallee(pass.Info, call), pass.Fset.Position(call.Pos()).Line)
+		conditional := false
+		for _, b := range branches {
+			if b.contains(ret.Pos()) {
+				conditional = true
 				break
 			}
 		}
+		if !conditional {
+			return true
+		}
+		if call := firstReachableCollective(pass, g, g.AfterReturn(ret)); call != nil {
+			pass.Reportf(ret.Pos(),
+				"conditional `return nil` inside World.Run closure skips the mpi.%s at line %d on ranks that take it: success returns do not poison the world, so the remaining ranks block forever",
+				collectiveCallee(pass.Info, call), pass.Fset.Position(call.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// firstReachableCollective returns the source-first collective call in
+// any block reachable from `from`, or nil.
+func firstReachableCollective(pass *Pass, g *CFG, from *Block) *ast.CallExpr {
+	var best *ast.CallExpr
+	for blk := range g.Reachable(from) {
+		for _, s := range blk.Stmts {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if ok && collectiveCallee(pass.Info, call) != "" &&
+					(best == nil || call.Pos() < best.Pos()) {
+					best = call
+				}
+				return true
+			})
+		}
 	}
+	return best
 }
 
 // allNil reports whether every result expression is the predeclared nil.

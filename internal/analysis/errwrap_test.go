@@ -1,0 +1,54 @@
+package analysis
+
+import "testing"
+
+// TestParseFormatVerbs pins the format scanner errwrap uses to map verbs
+// to operand indexes and to byte-offset fix spans inside the raw quoted
+// literal.
+func TestParseFormatVerbs(t *testing.T) {
+	type verb struct {
+		arg   int
+		verb  byte
+		start int
+		end   int
+	}
+	cases := []struct {
+		name string
+		raw  string
+		want []verb
+		ok   bool
+	}{
+		{"plain", `"load %s: %v"`, []verb{{0, 's', 6, 8}, {1, 'v', 10, 12}}, true},
+		{"wrap", `"%w: %w"`, []verb{{0, 'w', 1, 3}, {1, 'w', 5, 7}}, true},
+		{"escapedPercent", `"100%% done %d"`, []verb{{0, 'd', 12, 14}}, true},
+		{"flags", `"%+v %-10s %#x % d %08.3f"`, []verb{{0, 'v', 1, 4}, {1, 's', 5, 10}, {2, 'x', 11, 14}, {3, 'd', 15, 18}, {4, 'f', 19, 25}}, true},
+		{"starWidth", `"%*d"`, []verb{{1, 'd', 1, 4}}, true}, // * consumes arg 0
+		{"starPrecision", `"%.*f"`, []verb{{1, 'f', 1, 5}}, true},
+		{"bothStars", `"%*.*f"`, []verb{{2, 'f', 1, 6}}, true},
+		{"indexed", `"%[1]d"`, nil, false}, // explicit indexes: bail out
+		{"trailingPercent", `%`, nil, true},
+		{"noVerbs", `"no formatting here"`, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseFormatVerbs(tc.raw)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d verbs %+v, want %d", len(got), got, len(tc.want))
+			}
+			for i, w := range tc.want {
+				g := got[i]
+				if g.arg != w.arg || g.verb != w.verb || g.start != w.start || g.end != w.end {
+					t.Errorf("verb %d: got {arg:%d %q [%d,%d)}, want {arg:%d %q [%d,%d)}",
+						i, g.arg, g.verb, g.start, g.end, w.arg, w.verb, w.start, w.end)
+				}
+				// The span must slice the raw literal back to the verb text.
+				if w.end <= len(tc.raw) && tc.raw[w.start] != '%' {
+					t.Errorf("verb %d span does not start at %%: %q", i, tc.raw[w.start:w.end])
+				}
+			}
+		})
+	}
+}

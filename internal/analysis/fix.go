@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Suggested fixes: a diagnostic may carry machine-applicable edits.
+// `qlint -fix` applies them, `qlint -diff` previews them as a unified
+// diff; either way the diagnostic text stays the contract and the fix is
+// an offer, not a second opinion. Edits are byte-offset ranges into the
+// file as parsed, so application is independent of go/token state.
+
+// TextEdit replaces the byte range [Start, End) of Filename with NewText.
+type TextEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
+}
+
+// SuggestedFix is one self-contained remedy: all of its edits apply
+// together or not at all.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FixableCount returns how many of the diagnostics carry at least one
+// suggested fix.
+func FixableCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyFixes merges every suggested fix of every diagnostic and returns
+// the rewritten content per file (files without fixes are absent).
+// Overlapping edits are resolved first-wins in diagnostic order — the
+// dropped fix's diagnostic will fire again on the next run, so iterating
+// `qlint -fix` converges rather than corrupting the file.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		TextEdit
+		order int
+	}
+	byFile := map[string][]edit{}
+	order := 0
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], edit{e, order})
+				order++
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("qlint: applying fixes: %w", err)
+		}
+		// Earlier diagnostics win overlaps; then apply back-to-front so
+		// offsets stay valid.
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].order < edits[j].order })
+		var accepted []edit
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+				return nil, fmt.Errorf("qlint: fix edit out of range for %s [%d,%d) of %d bytes", file, e.Start, e.End, len(src))
+			}
+			clash := false
+			for _, a := range accepted {
+				if e.Start < a.End && a.Start < e.End {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				accepted = append(accepted, e)
+			}
+		}
+		sort.Slice(accepted, func(i, j int) bool { return accepted[i].Start > accepted[j].Start })
+		buf := append([]byte(nil), src...)
+		for _, e := range accepted {
+			buf = append(buf[:e.Start], append([]byte(e.NewText), buf[e.End:]...)...)
+		}
+		out[file] = buf
+	}
+	return out, nil
+}
+
+// UnifiedDiff renders old → new as a minimal unified diff (full-context
+// hunks are collapsed to the classic 3-line context) with the given
+// display name. Returns "" when the contents are identical.
+func UnifiedDiff(name string, oldData, newData []byte) string {
+	if string(oldData) == string(newData) {
+		return ""
+	}
+	oldLines := splitLines(string(oldData))
+	newLines := splitLines(string(newData))
+	ops := diffLines(oldLines, newLines)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", name, name)
+	const ctx = 3
+	i := 0
+	for i < len(ops) {
+		// Skip runs of equal lines to find the next hunk.
+		if ops[i].kind == ' ' {
+			i++
+			continue
+		}
+		// Hunk start: back up ctx context lines.
+		start := i
+		for start > 0 && ops[start-1].kind == ' ' && i-start < ctx {
+			start--
+		}
+		// Extend to hunk end: stop after 2*ctx consecutive equal lines.
+		end := i
+		eq := 0
+		for end < len(ops) {
+			if ops[end].kind == ' ' {
+				eq++
+				if eq > 2*ctx {
+					break
+				}
+			} else {
+				eq = 0
+			}
+			end++
+		}
+		// Trim trailing context to ctx lines.
+		for end > i && end-1 < len(ops) && trailingEqual(ops, end) > ctx {
+			end--
+		}
+		oldStart, newStart := ops[start].oldLine, ops[start].newLine
+		oldCount, newCount := 0, 0
+		for _, op := range ops[start:end] {
+			if op.kind != '+' {
+				oldCount++
+			}
+			if op.kind != '-' {
+				newCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", oldStart, oldCount, newStart, newCount)
+		for _, op := range ops[start:end] {
+			sb.WriteByte(byte(op.kind))
+			sb.WriteString(op.text)
+			sb.WriteByte('\n')
+		}
+		i = end
+	}
+	return sb.String()
+}
+
+func trailingEqual(ops []diffOp, end int) int {
+	n := 0
+	for j := end - 1; j >= 0 && ops[j].kind == ' '; j-- {
+		n++
+	}
+	return n
+}
+
+type diffOp struct {
+	kind             rune // ' ', '-', '+'
+	text             string
+	oldLine, newLine int // 1-based line numbers at the op
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffLines computes a line diff via the classic O(n·m) LCS table —
+// qlint's files are source files, small enough that simplicity wins.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i], i + 1, j + 1})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i], i + 1, j + 1})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j], i + 1, j + 1})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i], i + 1, j + 1})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j], i + 1, j + 1})
+	}
+	return ops
+}

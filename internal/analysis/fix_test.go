@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fixDiag wraps edits (which carry their own filenames) in a diagnostic.
+func fixDiag(edits ...TextEdit) Diagnostic {
+	return Diagnostic{
+		Analyzer: "test",
+		Message:  "m",
+		Fixes:    []SuggestedFix{{Message: "fix", Edits: edits}},
+	}
+}
+
+func TestFixableCount(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "a"},
+		{Analyzer: "b", Fixes: []SuggestedFix{{Message: "f"}}},
+		{Analyzer: "c", Fixes: []SuggestedFix{{Message: "f"}, {Message: "g"}}},
+	}
+	if n := FixableCount(diags); n != 2 {
+		t.Errorf("FixableCount = %d, want 2", n)
+	}
+}
+
+func TestApplyFixesSingleEdit(t *testing.T) {
+	path := writeTemp(t, "alpha beta gamma\n")
+	out, err := ApplyFixes([]Diagnostic{
+		fixDiag(TextEdit{Filename: path, Start: 6, End: 10, NewText: "BETA"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out[path]); got != "alpha BETA gamma\n" {
+		t.Errorf("rewritten content %q", got)
+	}
+}
+
+func TestApplyFixesMultipleEditsKeepOffsets(t *testing.T) {
+	// Two edits in one file, applied back-to-front so the earlier edit's
+	// length change cannot shift the later edit's offsets.
+	path := writeTemp(t, "aa bb cc\n")
+	out, err := ApplyFixes([]Diagnostic{
+		fixDiag(TextEdit{Filename: path, Start: 0, End: 2, NewText: "AAAA"}),
+		fixDiag(TextEdit{Filename: path, Start: 6, End: 8, NewText: "C"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out[path]); got != "AAAA bb C\n" {
+		t.Errorf("rewritten content %q", got)
+	}
+}
+
+func TestApplyFixesOverlapFirstWins(t *testing.T) {
+	// Overlapping edits: the earlier diagnostic's fix applies, the later
+	// one is dropped (its diagnostic fires again next run).
+	path := writeTemp(t, "abcdef\n")
+	out, err := ApplyFixes([]Diagnostic{
+		fixDiag(TextEdit{Filename: path, Start: 1, End: 4, NewText: "X"}),
+		fixDiag(TextEdit{Filename: path, Start: 3, End: 5, NewText: "Y"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out[path]); got != "aXef\n" {
+		t.Errorf("overlap resolution produced %q, want %q", got, "aXef\n")
+	}
+}
+
+func TestApplyFixesRangeValidation(t *testing.T) {
+	path := writeTemp(t, "short\n")
+	cases := []TextEdit{
+		{Filename: path, Start: -1, End: 2, NewText: "x"},
+		{Filename: path, Start: 4, End: 2, NewText: "x"},
+		{Filename: path, Start: 0, End: 100, NewText: "x"},
+	}
+	for _, e := range cases {
+		if _, err := ApplyFixes([]Diagnostic{fixDiag(e)}); err == nil {
+			t.Errorf("edit [%d,%d) accepted on a %d-byte file", e.Start, e.End, 6)
+		}
+	}
+}
+
+func TestApplyFixesMissingFile(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "gone.go")
+	if _, err := ApplyFixes([]Diagnostic{
+		fixDiag(TextEdit{Filename: missing, Start: 0, End: 0, NewText: "x"}),
+	}); err == nil {
+		t.Error("ApplyFixes succeeded on a nonexistent file")
+	}
+}
+
+func TestApplyFixesNoFixes(t *testing.T) {
+	out, err := ApplyFixes([]Diagnostic{{Analyzer: "a", Message: "no fix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("fix-free diagnostics produced %d rewritten files", len(out))
+	}
+}
+
+func TestUnifiedDiffIdentical(t *testing.T) {
+	if d := UnifiedDiff("x.go", []byte("same\n"), []byte("same\n")); d != "" {
+		t.Errorf("identical contents produced a diff:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffSimpleChange(t *testing.T) {
+	oldSrc := "a\nb\nc\nd\ne\nf\ng\nh\n"
+	newSrc := "a\nb\nc\nD\ne\nf\ng\nh\n"
+	d := UnifiedDiff("x.go", []byte(oldSrc), []byte(newSrc))
+	for _, want := range []string{"--- x.go", "+++ x.go", "-d", "+D", "@@ -1,7 +1,7 @@"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	// 3-line context: the far ends of an 8-line file with a middle change
+	// stay inside one hunk, but a change on line 4 keeps line 8 out.
+	if strings.Contains(d, " h") {
+		t.Errorf("context extends beyond 3 lines:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffTwoHunks(t *testing.T) {
+	var oldLines, newLines []string
+	for i := 0; i < 30; i++ {
+		oldLines = append(oldLines, "line")
+		newLines = append(newLines, "line")
+	}
+	oldLines[2], newLines[2] = "old-top", "new-top"
+	oldLines[27], newLines[27] = "old-bottom", "new-bottom"
+	d := UnifiedDiff("x.go",
+		[]byte(strings.Join(oldLines, "\n")+"\n"),
+		[]byte(strings.Join(newLines, "\n")+"\n"))
+	if got := strings.Count(d, "@@"); got != 4 { // two hunks, two @@ markers each
+		t.Errorf("expected 2 hunks (4 @@ markers), got %d:\n%s", got/2*2, d)
+	}
+	for _, want := range []string{"-old-top", "+new-top", "-old-bottom", "+new-bottom"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q", want)
+		}
+	}
+}
+
+func TestUnifiedDiffAddRemove(t *testing.T) {
+	d := UnifiedDiff("x.go", []byte("a\nb\n"), []byte("a\nmid\nb\n"))
+	if !strings.Contains(d, "+mid") {
+		t.Errorf("insertion missing from diff:\n%s", d)
+	}
+	d = UnifiedDiff("x.go", []byte("a\nb\nc\n"), []byte("a\nc\n"))
+	if !strings.Contains(d, "-b") {
+		t.Errorf("deletion missing from diff:\n%s", d)
+	}
+	// Whole-file creation and truncation.
+	if d := UnifiedDiff("x.go", nil, []byte("new\n")); !strings.Contains(d, "+new") {
+		t.Errorf("creation diff wrong:\n%s", d)
+	}
+	if d := UnifiedDiff("x.go", []byte("old\n"), nil); !strings.Contains(d, "-old") {
+		t.Errorf("truncation diff wrong:\n%s", d)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "errwrap", Message: "msg"}
+	d.Pos.Filename = "a/b.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "a/b.go:3:7: errwrap: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortDiagnosticsOrder(t *testing.T) {
+	mk := func(file string, line, col int, analyzer, msg string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer, Message: msg}
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, col
+		return d
+	}
+	ds := []Diagnostic{
+		mk("b.go", 1, 1, "a", "m"),
+		mk("a.go", 2, 1, "a", "m"),
+		mk("a.go", 1, 2, "a", "m"),
+		mk("a.go", 1, 1, "b", "m"),
+		mk("a.go", 1, 1, "a", "n"),
+		mk("a.go", 1, 1, "a", "m"),
+	}
+	SortDiagnostics(ds)
+	want := []string{
+		"a.go:1:1: a: m",
+		"a.go:1:1: a: n",
+		"a.go:1:1: b: m",
+		"a.go:1:2: a: m",
+		"a.go:2:1: a: m",
+		"b.go:1:1: a: m",
+	}
+	for i, w := range want {
+		if ds[i].String() != w {
+			t.Errorf("position %d: %q, want %q", i, ds[i].String(), w)
+		}
+	}
+}

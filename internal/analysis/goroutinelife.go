@@ -1,0 +1,132 @@
+package analysis
+
+// GoroutineLife enforces that every goroutine launched in non-test
+// internal packages has a provable join or cancel path. The simulator's
+// ranks run for hours: a goroutine that nothing ever joins outlives its
+// owner, keeps buffers pinned, and — when it touches MPI — can deadlock a
+// collective long after the spawning call returned. The proof obligations
+// accepted here are the repo's own idioms: the spawned body signals
+// completion through a sync.WaitGroup (Done/Wait), closes a channel,
+// sends or receives on one, selects, or drains a channel with
+// `for range ch`. A `go` statement whose body shows none of these — or
+// whose callee cannot be resolved inside the unit at all — is flagged.
+//
+// The check is deliberately an over-approximation of safety: any channel
+// or WaitGroup interaction in the body (nested closures included) counts
+// as a join path. That keeps false positives near zero at the cost of
+// missing goroutines whose signal is dead code — the corpus pins both
+// directions.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "every `go` statement in non-test internal packages needs a provable " +
+		"join or cancel path (WaitGroup Done/Wait, channel close/send/receive, " +
+		"select, or `for range ch`) so goroutines cannot leak past their owner",
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path(), "/internal/") ||
+		strings.HasSuffix(pass.Pkg.Path(), "_test") {
+		return
+	}
+	// Index the unit's own function declarations so `go worker(...)`
+	// resolves to a body we can inspect.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := resolveSpawnedBody(pass, decls, gs.Call)
+			if body == nil {
+				pass.Reportf(gs.Pos(),
+					"goroutine body cannot be resolved in this package; its lifecycle is unprovable — spawn a local func that signals completion")
+				return true
+			}
+			if !hasJoinPath(pass, body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no provable join or cancel path (no WaitGroup Done/Wait, channel close/send/receive, select, or `for range ch`) — it can leak past its owner")
+			}
+			return true
+		})
+	}
+}
+
+// resolveSpawnedBody returns the function body a `go` call runs: the
+// literal itself, or the same-unit declaration of a named callee. Nil
+// when the callee lives outside the unit (method value, imported func,
+// func-typed variable).
+func resolveSpawnedBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd, ok := decls[pass.Info.Uses[fun]]; ok {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd, ok := decls[pass.Info.Uses[fun.Sel]]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasJoinPath reports whether the body contains any accepted completion
+// signal. Nested function literals are included: a deferred closure
+// calling wg.Done is the most common shape.
+func hasJoinPath(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if calleeBuiltin(pass.Info, x) == "close" {
+				found = true
+				break
+			}
+			fn := calleeFunc(pass.Info, x)
+			if methodIs(fn, "sync", "WaitGroup", "Done") ||
+				methodIs(fn, "sync", "WaitGroup", "Wait") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

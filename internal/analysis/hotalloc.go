@@ -19,6 +19,12 @@ import (
 //   - passing or assigning a concrete value where an interface is
 //     expected (boxing; fmt-style calls are the classic offender).
 //
+// Calls out of a hot loop are followed one level deep: a call to a
+// function declared in the same unit whose body allocates (make / new /
+// append, composite or function literal) is reported at the call site —
+// the allocation runs once per iteration no matter whose body it sits
+// in, and hiding it behind a helper used to hide it from the analyzer.
+//
 // panic calls are exempt: a panicking iteration is not steady state.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
@@ -28,18 +34,29 @@ var HotAlloc = &Analyzer{
 }
 
 func runHotAlloc(pass *Pass) {
+	// Same-unit declaration index for the single-level inlining step.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !docHasMarker(fd.Doc, "//qusim:hot") {
 				continue
 			}
-			checkHotFunc(pass, fd)
+			checkHotFunc(pass, fd, decls)
 		}
 	}
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) {
 	// Collect the loop-body regions; everything inside one is hot. Unlike
 	// the other analyzers this descends into function literals: the hot
 	// kernels hand their sweep loops to the worker pool as par.For closures,
@@ -85,13 +102,13 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 			if !inLoop(x) {
 				return true
 			}
-			checkHotCall(pass, fd.Name.Name, x)
+			checkHotCall(pass, fd.Name.Name, x, decls)
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, fname string, call *ast.CallExpr) {
+func checkHotCall(pass *Pass, fname string, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) {
 	switch calleeBuiltin(pass.Info, call) {
 	case "make", "new", "append":
 		pass.Reportf(call.Pos(), "%s inside a //qusim:hot loop (%s) allocates per iteration: hoist the buffer out of the loop",
@@ -158,4 +175,44 @@ func checkHotCall(pass *Pass, fname string, call *ast.CallExpr) {
 			"passing %s to interface parameter of %s boxes inside a //qusim:hot loop (%s)",
 			argTV.Type.String(), fn.Name(), fname)
 	}
+
+	// Single-level inlining: a same-unit callee that allocates anywhere in
+	// its body allocates once per iteration of this loop.
+	if callee, ok := decls[types.Object(fn)]; ok {
+		if node, what := firstCalleeAlloc(pass, callee.Body); node != nil {
+			pass.Reportf(call.Pos(),
+				"call to %s allocates per iteration inside a //qusim:hot loop (%s): %s at line %d — hoist the allocation out of the per-iteration path",
+				fn.Name(), fname, what, pass.Fset.Position(node.Pos()).Line)
+		}
+	}
+}
+
+// firstCalleeAlloc finds the source-first allocating construct in a
+// callee body: make/new/append, a composite literal, or a function
+// literal. Conversions and boxing are left to the callee's own marker —
+// one inlining level keeps the signal-to-noise of the direct checks.
+// panic subtrees are exempt, as in the direct case.
+func firstCalleeAlloc(pass *Pass, body *ast.BlockStmt) (ast.Node, string) {
+	var node ast.Node
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			node, what = x, "composite literal"
+		case *ast.FuncLit:
+			node, what = x, "function literal"
+		case *ast.CallExpr:
+			switch b := calleeBuiltin(pass.Info, x); b {
+			case "panic":
+				return false
+			case "make", "new", "append":
+				node, what = x, b
+			}
+		}
+		return node == nil
+	})
+	return node, what
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -12,6 +13,9 @@ type directive struct {
 	funcFrom int    // when set, the directive came from a func doc comment
 	funcTo   int    // and covers the whole declaration
 	analyzer string // analyzer being silenced
+
+	pos  token.Position // full position, for stale-directive diagnostics
+	used bool           // set by filterSuppressed when the directive fired
 }
 
 // collectDirectives parses every //qlint:ignore comment in the unit. A
@@ -59,10 +63,12 @@ func collectDirectives(u *Unit) ([]directive, []Diagnostic) {
 					report(c, "qlint:ignore "+fields[0]+" needs a reason (why does the invariant not apply here?)")
 					continue
 				}
+				pos := u.Fset.Position(c.Pos())
 				d := directive{
-					file:     u.Fset.Position(c.Pos()).Filename,
-					line:     u.Fset.Position(c.Pos()).Line,
+					file:     pos.Filename,
+					line:     pos.Line,
 					analyzer: fields[0],
+					pos:      pos,
 				}
 				if sp, ok := funcSpan[cg]; ok {
 					d.funcFrom, d.funcTo = sp.from, sp.to
@@ -77,6 +83,8 @@ func collectDirectives(u *Unit) ([]directive, []Diagnostic) {
 // filterSuppressed drops diagnostics covered by a directive: same file,
 // same analyzer, and either on the directive's line, the line right below
 // it, or anywhere in the function the directive's doc comment heads.
+// Directives that suppressed something are marked used (in place), which
+// is what -strict-ignores keys its staleness report on.
 func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
@@ -84,14 +92,17 @@ func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range diags {
 		suppressed := false
-		for _, dir := range dirs {
+		for i := range dirs {
+			dir := &dirs[i]
 			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
 				continue
 			}
 			if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 ||
 				(dir.funcTo > 0 && d.Pos.Line >= dir.funcFrom && d.Pos.Line <= dir.funcTo) {
+				dir.used = true
 				suppressed = true
-				break
+				// Keep scanning: another directive may also cover this
+				// diagnostic and deserves its used mark too.
 			}
 		}
 		if !suppressed {

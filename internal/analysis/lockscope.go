@@ -1,0 +1,281 @@
+package analysis
+
+// LockScope enforces the repo's lock-hygiene rule: no blocking operation
+// while holding a sync.Mutex/RWMutex. The dangerous composition is
+// specific to this codebase — a collective entered under a lock deadlocks
+// the whole world the moment any other rank's path to the same collective
+// needs that lock, and an fsio call under a lock turns a chaos-injected
+// disk stall into a process-wide stall. Blocking operations are: mpi
+// collectives, calls into internal/fsio, the banned os file operations,
+// and sends on provably-unbuffered channels.
+//
+// The analysis is a forward must-dataflow over the function's CFG:
+// lock/unlock calls transfer a held-set keyed by receiver expression, the
+// meet at joins is intersection (a mutex counts as held only when every
+// inbound path holds it), and loops run to fixpoint. A deferred Unlock
+// releases at function exit, so statements after `mu.Lock(); defer
+// mu.Unlock()` are correctly treated as under the lock. Copying shared
+// state under the lock and blocking outside it — the repo's idiom — never
+// fires.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "no blocking call (mpi collective, fsio operation, banned os file op, " +
+		"unbuffered channel send) while holding a sync.Mutex/RWMutex — a blocked " +
+		"holder stalls every rank that needs the lock and can deadlock collectives",
+	Run: runLockScope,
+}
+
+func runLockScope(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		eachFuncBody(f, func(_ *ast.CommentGroup, _ string, body *ast.BlockStmt) {
+			checkLockScope(pass, body)
+		})
+	}
+}
+
+// lockState is the set of held mutexes, keyed by the receiver expression
+// the Lock call used (types.ExprString form, so s.mu and s.mu match).
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s lockState) equal(o lockState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect returns the must-held meet of two states; a nil receiver is ⊤
+// (unvisited) and yields the other side unchanged.
+func (s lockState) intersect(o lockState) lockState {
+	if s == nil {
+		return o.clone()
+	}
+	out := lockState{}
+	for k := range s {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func checkLockScope(pass *Pass, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	origins := collectOrigins(pass, body)
+
+	preds := map[*Block][]*Block{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	// Forward must-analysis to fixpoint. in[b] == nil means unvisited (⊤).
+	in := make([]lockState, len(g.Blocks))
+	out := make([]lockState, len(g.Blocks))
+	in[g.Entry.Index] = lockState{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			newIn := in[b.Index]
+			if b != g.Entry {
+				newIn = nil
+				for _, p := range preds[b] {
+					if out[p.Index] != nil {
+						newIn = newIn.intersect(out[p.Index])
+					}
+				}
+			}
+			if newIn == nil {
+				continue // unreachable so far
+			}
+			newOut := transferLocks(pass, g, b, newIn.clone(), nil, nil)
+			if in[b.Index] == nil || !in[b.Index].equal(newIn) ||
+				out[b.Index] == nil || !out[b.Index].equal(newOut) {
+				in[b.Index], out[b.Index] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass over the solved states, deduplicated per call site
+	// (a loop body is transferred once here, not per iteration).
+	reported := map[ast.Node]bool{}
+	for _, b := range g.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		transferLocks(pass, g, b, in[b.Index].clone(), origins, reported)
+	}
+}
+
+// transferLocks runs one block's statements through the lock transfer
+// function and returns the out-state. When origins is non-nil it also
+// reports blocking operations executed with a non-empty held set.
+//
+// A compound statement (if/for/switch/...) sits in the block that
+// evaluates its header while its nested statements live in blocks of
+// their own; the walk therefore skips any child statement the CFG maps
+// to a different block — that code is transferred where it executes.
+func transferLocks(pass *Pass, g *CFG, b *Block, held lockState, origins *Origins, reported map[ast.Node]bool) lockState {
+	report := func(n ast.Node, what string) {
+		if origins == nil || len(held) == 0 || reported[n] {
+			return
+		}
+		reported[n] = true
+		var names []string
+		for k := range held {
+			names = append(names, k)
+		}
+		// Deterministic single-name message: pick the lexicographic min.
+		name := names[0]
+		for _, n := range names[1:] {
+			if n < name {
+				name = n
+			}
+		}
+		pass.Reportf(n.Pos(),
+			"%s while holding %s: a blocked lock holder stalls every goroutine and rank contending for it — release the mutex first",
+			what, name)
+	}
+	for _, s := range b.Stmts {
+		if _, isDefer := s.(*ast.DeferStmt); isDefer {
+			continue // runs at function exit, not here
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			if st, ok := n.(ast.Stmt); ok && st != s {
+				if owner := g.BlockOf(st); owner != nil && owner != b {
+					return false
+				}
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // gets its own eachFuncBody visit
+			case *ast.DeferStmt:
+				return false
+			case *ast.SendStmt:
+				if origins != nil && isUnbufferedChan(pass, origins, x.Chan) {
+					report(x, "send on an unbuffered channel")
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, x)
+				if key, op, ok := mutexOp(pass, x, fn); ok {
+					if op {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					return true
+				}
+				if what := blockingCall(fn, pass.Info, x); what != "" {
+					report(x, what)
+				}
+			}
+			return true
+		})
+	}
+	return held
+}
+
+// mutexOp recognizes sync.Mutex/RWMutex Lock/Unlock family calls and
+// returns the receiver key and whether the op acquires (true) or
+// releases (false).
+func mutexOp(pass *Pass, call *ast.CallExpr, fn *types.Func) (key string, acquires, ok bool) {
+	if fn == nil {
+		return "", false, false
+	}
+	isMu := methodIs(fn, "sync", "Mutex", fn.Name()) || methodIs(fn, "sync", "RWMutex", fn.Name())
+	if !isMu {
+		return "", false, false
+	}
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	case "TryLock", "TryRLock":
+		// May or may not acquire; treating it as not-held keeps the
+		// must-analysis sound for "definitely held" reporting.
+		return "", false, false
+	}
+	return "", false, false
+}
+
+// blockingCall classifies a call as blocking for lock-scope purposes,
+// returning a human description or "".
+func blockingCall(fn *types.Func, info *types.Info, call *ast.CallExpr) string {
+	if name := collectiveCallee(info, call); name != "" {
+		return "mpi collective " + name
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if fn.Pkg().Path() == fsioPath {
+		return "fsio." + fn.Name() + " call"
+	}
+	if fn.Pkg().Path() == "os" && fsOpsBanned[fn.Name()] && recvNamed(fn) == "" {
+		return "os." + fn.Name() + " call"
+	}
+	return ""
+}
+
+// isUnbufferedChan reports whether the channel expression provably
+// originates from a make(chan T) with no capacity argument.
+func isUnbufferedChan(pass *Pass, origins *Origins, ch ast.Expr) bool {
+	if unbufferedMake(pass, ch) {
+		return true
+	}
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for _, src := range origins.sources[obj] {
+		if unbufferedMake(pass, src) {
+			return true
+		}
+	}
+	return false
+}
+
+func unbufferedMake(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || calleeBuiltin(pass.Info, call) != "make" || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -88,3 +88,39 @@ func suppressedFunc(c *mpi.Comm, buf, tmp []complex128) {
 		c.PairExchange(partner, tmp, buf)
 	}
 }
+
+// localOnlyArm pins the CFG upgrade: the inner `return nil` sits in a
+// nested branch whose every path returns before the barrier, so the rank
+// that takes it deserts nothing the localOnly arm would have executed.
+// The v1 positional check ("a collective appears later in the source")
+// flagged it; the natural-successor reachability query must not. The
+// OUTER return is the real desertion point and stays flagged.
+func localOnlyArm(w *mpi.World, localOnly, cached bool) error {
+	return w.Run(func(c *mpi.Comm) error {
+		if localOnly {
+			if cached {
+				return nil
+			}
+			processLocal()
+			return nil // want `collectiveorder: conditional .return nil. inside World\.Run closure skips the mpi\.Barrier at line \d+`
+		}
+		c.Barrier()
+		return nil
+	})
+}
+
+func processLocal() {}
+
+// loopDesertion: the success return deserts the next iteration's
+// collective through the loop back edge, which only a CFG can see.
+func loopDesertion(w *mpi.World, stages int, done func(int) bool) error {
+	return w.Run(func(c *mpi.Comm) error {
+		for s := 0; s < stages; s++ {
+			if done(s) {
+				return nil // want `collectiveorder: conditional .return nil. inside World\.Run closure skips the mpi\.Barrier at line \d+`
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+}

@@ -1,0 +1,108 @@
+// Package errwrap is the analysistest corpus for the errwrap analyzer:
+// wrap-chain-breaking %v formatting of classified errors, fresh errors
+// minted inside `if err != nil` guards, and the negative space — stdlib
+// errors, %w usage, and reasoned suppressions.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"qusim/internal/fsio"
+)
+
+// readBlock is the corpus's stand-in for a seam call: its result carries
+// fsio classification that downstream wrapping must preserve.
+func readBlock(name string) ([]byte, error) {
+	return fsio.OS{}.ReadFile(name)
+}
+
+// flattensSeamError loses the classification the scheduler dispatches on.
+func flattensSeamError(name string) error {
+	data, err := readBlock(name)
+	if err != nil {
+		return fmt.Errorf("reading %s: %v", name, err) // want `errwrap: error formatted with %v loses its wrap chain`
+	}
+	_ = data
+	return nil
+}
+
+// flattensThroughLocal: the origin chase must follow the intermediate
+// assignment back to the seam call.
+func flattensThroughLocal(name string) error {
+	_, readErr := readBlock(name)
+	cause := readErr
+	if cause != nil {
+		return fmt.Errorf("block load failed: %s", cause) // want `errwrap: error formatted with %s loses its wrap chain`
+	}
+	return nil
+}
+
+// wrapsProperly is the fixed form: %w keeps IsNoSpace/IsTransient alive.
+func wrapsProperly(name string) error {
+	if _, err := readBlock(name); err != nil {
+		return fmt.Errorf("reading %s: %w", name, err)
+	}
+	return nil
+}
+
+// stdlibErrorIsFine: a strconv error never carried classification, so
+// flattening it is legal outside the seam packages.
+func stdlibErrorIsFine(s string) error {
+	if _, err := strconv.Atoi(s); err != nil {
+		return fmt.Errorf("parsing %q: %v", s, err)
+	}
+	return nil
+}
+
+// mintsFreshError discards the classified chain entirely.
+func mintsFreshError(name string) error {
+	_, err := readBlock(name)
+	if err != nil {
+		return errors.New("block unreadable") // want `errwrap: returns a fresh error inside .if err != nil.`
+	}
+	return nil
+}
+
+// mintsFreshErrorf: a fmt.Errorf that never mentions the guarded error is
+// the same discard in different clothes.
+func mintsFreshErrorf(name string) error {
+	_, err := readBlock(name)
+	if err != nil {
+		return fmt.Errorf("cannot load %s", name) // want `errwrap: returns a fresh error inside .if err != nil.`
+	}
+	return nil
+}
+
+// rewrapsGuardedError mentions err in the guard return, so it is not a
+// discard — pattern 1 catches the verb choice separately.
+func rewrapsGuardedError(name string) error {
+	_, err := readBlock(name)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", name, err)
+	}
+	return nil
+}
+
+// sentinelReturnIsFine: returning a package sentinel variable inside a
+// guard is a deliberate translation, not an accidental discard.
+var errCorrupt = errors.New("errwrap corpus: corrupt block")
+
+func sentinelReturnIsFine(name string) error {
+	if _, err := readBlock(name); err != nil {
+		return errCorrupt
+	}
+	return nil
+}
+
+// suppressedFlatten documents the one sanctioned flatten: a log-only
+// summary string that never reaches a classification decision.
+func suppressedFlatten(name string) string {
+	_, err := readBlock(name)
+	if err != nil {
+		//qlint:ignore errwrap summary string is display-only and never classified
+		return fmt.Errorf("unreadable: %v", err).Error()
+	}
+	return "ok"
+}

@@ -1,0 +1,86 @@
+// Package goroutinelife is the analysistest corpus for the goroutinelife
+// analyzer: goroutines with no completion signal, the accepted join/cancel
+// idioms, unresolvable spawn targets, and a reasoned suppression.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+// leaks spawns a goroutine nothing can ever join.
+func leaks() {
+	go func() { // want `goroutinelife: goroutine has no provable join or cancel path`
+		var total int
+		for i := 0; i < 1e6; i++ {
+			total += i
+		}
+		_ = total
+	}()
+}
+
+// waitGroupJoin is the standard fan-out shape: Done inside, Wait outside.
+func waitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// closeSignal announces completion by closing a channel.
+func closeSignal() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+// sendSignal reports a result on a channel; the send is the join point.
+func sendSignal() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// contextCancel blocks on ctx.Done — a receive, hence a cancel path.
+func contextCancel(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// drainWorker is the named-callee case: the spawned declaration drains a
+// channel with `for range`, so the spawn resolves and proves itself.
+func drainWorker(tasks chan int) {
+	go drain(tasks)
+}
+
+func drain(tasks chan int) {
+	for t := range tasks {
+		_ = t
+	}
+}
+
+// unresolvable spawns through a function value; the body cannot be found
+// in this unit, so the lifecycle is unprovable.
+func unresolvable(fn func()) {
+	go fn() // want `goroutinelife: goroutine body cannot be resolved in this package`
+}
+
+// suppressedLeak documents the sanctioned case: a process-lifetime
+// background loop that is meant to die with the process.
+func suppressedLeak() {
+	//qlint:ignore goroutinelife process-lifetime metrics flusher, reaped at exit
+	go func() {
+		for {
+			_ = len("tick")
+		}
+	}()
+}

@@ -120,3 +120,29 @@ func suppressedFunc(xs []int) []int {
 	}
 	return out
 }
+
+// growBuf hides an allocation behind a helper: the append runs once per
+// iteration of any loop that calls it, no matter whose body it sits in.
+func growBuf(dst []int, x int) []int {
+	return append(dst, x)
+}
+
+// scaleInPlace is a clean leaf: arithmetic only, nothing to hoist.
+func scaleInPlace(xs []int, k int) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+
+// hiddenAllocViaHelper pins the single-level inlining step: the loop
+// itself is allocation-free, but the helper it calls is not.
+//
+//qusim:hot
+func hiddenAllocViaHelper(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = growBuf(out, x) // want `hotalloc: call to growBuf allocates per iteration inside a //qusim:hot loop \(hiddenAllocViaHelper\): append at line \d+`
+		scaleInPlace(out, 2)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package lockscope is the analysistest corpus for the lockscope
+// analyzer: blocking operations under a held mutex, the must-analysis
+// negative space (branch-dependent locks, copy-then-block), and a
+// reasoned suppression.
+package lockscope
+
+import (
+	"os"
+	"sync"
+
+	"qusim/internal/fsio"
+	"qusim/internal/mpi"
+)
+
+// barrierUnderLock is the canonical world-deadlock: every other rank's
+// path to the same barrier may need mu.
+func barrierUnderLock(c *mpi.Comm, mu *sync.Mutex) {
+	mu.Lock()
+	c.Barrier() // want `lockscope: mpi collective Barrier while holding mu`
+	mu.Unlock()
+}
+
+// copyThenBlock is the repo's idiom: snapshot under the lock, block
+// outside it.
+func copyThenBlock(c *mpi.Comm, mu *sync.Mutex, shared []float64) float64 {
+	mu.Lock()
+	local := make([]float64, len(shared))
+	copy(local, shared)
+	mu.Unlock()
+	return c.AllreduceSum(local[0])
+}
+
+// maybeLocked: the lock is held on one path only, so the must-analysis
+// cannot claim it at the collective.
+func maybeLocked(c *mpi.Comm, mu *sync.Mutex, cond bool) {
+	if cond {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	c.Barrier()
+}
+
+// lockedOnEveryPath: both arms acquire, so the intersection at the join
+// still holds the mutex.
+func lockedOnEveryPath(c *mpi.Comm, mu *sync.Mutex, cond bool) {
+	if cond {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	c.Barrier() // want `lockscope: mpi collective Barrier while holding mu`
+	mu.Unlock()
+}
+
+// deferUnlock releases at return, so the fsio call still runs under the
+// lock — a chaos-injected stall becomes a process-wide stall.
+func deferUnlock(mu *sync.Mutex, name string) ([]byte, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return fsio.OS{}.ReadFile(name) // want `lockscope: fsio.ReadFile call while holding mu`
+}
+
+// osOpUnderLock: the banned os entry points block on the disk too.
+func osOpUnderLock(mu *sync.Mutex, name string) ([]byte, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return os.ReadFile(name) // want `lockscope: os.ReadFile call while holding mu`
+}
+
+// unbufferedSendUnderLock blocks until a receiver shows up; if the
+// receiver needs mu first, neither side moves again.
+func unbufferedSendUnderLock(mu *sync.Mutex) {
+	ch := make(chan int)
+	mu.Lock()
+	ch <- 1 // want `lockscope: send on an unbuffered channel while holding mu`
+	mu.Unlock()
+}
+
+// bufferedSendIsFine: capacity decouples the send from the receiver.
+func bufferedSendIsFine(mu *sync.Mutex) {
+	ch := make(chan int, 8)
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+// readLockCounts: an RLock holder blocks writers just the same.
+func readLockCounts(c *mpi.Comm, mu *sync.RWMutex) {
+	mu.RLock()
+	c.Barrier() // want `lockscope: mpi collective Barrier while holding mu`
+	mu.RUnlock()
+}
+
+// loopReacquire: the lock is released before the collective on every
+// iteration path, including the back edge.
+func loopReacquire(c *mpi.Comm, mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		mu.Unlock()
+		c.Barrier()
+	}
+}
+
+// suppressedBlock documents the sanctioned case: a single-process tool
+// path where the mutex has no cross-rank contention by construction.
+func suppressedBlock(mu *sync.Mutex, name string) ([]byte, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	//qlint:ignore lockscope single-process utility, mutex never contended across ranks
+	return os.ReadFile(name)
+}

@@ -31,3 +31,19 @@ func wellFormed() {
 	//qlint:ignore globalcleanup fixture: not a test file, nothing to suppress anyway
 	par.SetWorkers(1)
 }
+
+// multiLineReason: the reason must live on the directive's own line — a
+// continuation comment line underneath does not attach, so this is the
+// missing-reason diagnostic, not a suppression with a two-line reason.
+func multiLineReason() {
+	//qlint:ignore globalcleanup
+	// this next line is a separate comment, not the directive's reason
+	par.SetWorkers(1)
+}
+
+// blockComment: only //-style directives are recognized; a block comment
+// spelling the same text is inert — neither a suppression nor a finding.
+func blockComment() {
+	/* qlint:ignore globalcleanup block comments are not directives */
+	par.SetWorkers(1)
+}

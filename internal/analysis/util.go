@@ -8,6 +8,8 @@ import (
 
 // Import paths of the packages whose contracts the analyzers encode.
 const (
+	modulePathPrefix = "qusim"
+
 	mpiPath       = "qusim/internal/mpi"
 	ckptPath      = "qusim/internal/ckpt"
 	telemetryPath = "qusim/internal/telemetry"

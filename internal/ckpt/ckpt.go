@@ -357,7 +357,7 @@ func OpenShard(dir string, m *Manifest, rank int) (*ShardReader, error) {
 	info := m.Shards[rank]
 	f, err := fsys().Open(filepath.Join(dir, info.File))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
 	sr := &ShardReader{
 		f: f, br: bufio.NewReaderSize(f, 1<<16),
@@ -367,7 +367,7 @@ func OpenShard(dir string, m *Manifest, rank int) (*ShardReader, error) {
 	var pre [12]byte
 	if err := sr.read(pre[:]); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: shard preamble: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: shard preamble: %w", ErrInvalid, err)
 	}
 	if string(pre[:4]) != shardMagic {
 		f.Close()
@@ -385,12 +385,12 @@ func OpenShard(dir string, m *Manifest, rank int) (*ShardReader, error) {
 	hdrBytes := make([]byte, hlen)
 	if err := sr.read(hdrBytes); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: shard header: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: shard header: %w", ErrInvalid, err)
 	}
 	var hdr shardHeader
 	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: shard header: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: shard header: %w", ErrInvalid, err)
 	}
 	switch {
 	case hdr.Version != Version:
@@ -432,7 +432,7 @@ func (sr *ShardReader) Read(dst []complex128) error {
 			n = len(dst)
 		}
 		if err := sr.read(sr.buf[:n*ampBytes]); err != nil {
-			return fmt.Errorf("%w: shard payload: %v", ErrInvalid, err)
+			return fmt.Errorf("%w: shard payload: %w", ErrInvalid, err)
 		}
 		getAmps(dst[:n], sr.buf[:n*ampBytes])
 		dst = dst[n:]
@@ -450,7 +450,7 @@ func (sr *ShardReader) Close() error {
 	sum := sr.crc
 	var tr [4]byte
 	if _, err := io.ReadFull(sr.br, tr[:]); err != nil {
-		return fmt.Errorf("%w: shard trailer: %v", ErrInvalid, err)
+		return fmt.Errorf("%w: shard trailer: %w", ErrInvalid, err)
 	}
 	stored := binary.LittleEndian.Uint32(tr[:])
 	if stored != sum {
@@ -576,18 +576,18 @@ func manifestCRC(m *Manifest) (uint32, error) {
 func LoadManifest(path string) (*Manifest, error) {
 	blob, err := fsys().ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalid, err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(blob, &m); err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: manifest: %w", ErrInvalid, err)
 	}
 	if m.Version != Version {
 		return nil, fmt.Errorf("%w: manifest version %d, want %d", ErrInvalid, m.Version, Version)
 	}
 	crc, err := manifestCRC(&m)
 	if err != nil {
-		return nil, fmt.Errorf("%w: manifest: %v", ErrInvalid, err)
+		return nil, fmt.Errorf("%w: manifest: %w", ErrInvalid, err)
 	}
 	if crc != m.CRC {
 		return nil, fmt.Errorf("%w: manifest checksum mismatch (stored %08x, computed %08x)", ErrInvalid, m.CRC, crc)

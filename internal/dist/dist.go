@@ -297,7 +297,7 @@ func Run(plan *schedule.Plan, opts Options) (*Result, error) {
 			tryResume = true // recover from whatever the failed attempt committed
 			if rp := opts.Retry; rp != nil {
 				if rp.Deadline > 0 && time.Since(runStart) >= rp.Deadline {
-					return nil, fmt.Errorf("dist: %w after %d restarts: %v", ErrRunDeadline, res.Restarts-1, lastErr)
+					return nil, fmt.Errorf("dist: %w after %d restarts: %w", ErrRunDeadline, res.Restarts-1, lastErr)
 				}
 				if d := rp.delay(attempt, jrng); d > 0 {
 					time.Sleep(d)

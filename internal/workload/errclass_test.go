@@ -1,0 +1,41 @@
+package workload
+
+// Regression test for the errwrap invariant (qlint's errwrap analyzer):
+// the harness used to flatten backend errors with %v, so an out-of-core
+// backend surfacing fsio.ErrNoSpace lost its classification on the way
+// up and the sweep driver could not tell a full scratch volume (degrade:
+// skip the point) from a real failure (abort). Pins the %v→%w fix.
+
+import (
+	"fmt"
+	"testing"
+
+	"qusim/internal/circuit"
+	"qusim/internal/fsio"
+)
+
+// nospaceBackend fails every run the way an out-of-core backend does when
+// its scratch volume fills mid-spill.
+type nospaceBackend struct{}
+
+func (nospaceBackend) Name() string { return "nospace-stub" }
+
+func (nospaceBackend) Run(*circuit.Circuit) ([]complex128, error) {
+	return nil, fmt.Errorf("spill block 3: %w", fsio.ErrNoSpace)
+}
+
+func TestHarnessStateKeepsNoSpaceClassification(t *testing.T) {
+	h, err := NewHarness(Params{Tier: TierQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.backend = nospaceBackend{}
+
+	c := circuit.NewCircuit(2)
+	c.Name = "errclass"
+	if _, err := h.State(c); err == nil {
+		t.Fatal("State succeeded with a failing backend")
+	} else if !fsio.IsNoSpace(err) {
+		t.Errorf("no-space fault lost its classification through the harness wrap: %v", err)
+	}
+}

@@ -73,7 +73,7 @@ func (h *Harness) BackendName() string { return h.backend.Name() }
 func (h *Harness) State(c *circuit.Circuit) (*statevec.Vector, error) {
 	amps, err := h.backend.Run(c)
 	if err != nil {
-		return nil, fmt.Errorf("backend %s on %s: %v", h.backend.Name(), c.Name, err)
+		return nil, fmt.Errorf("backend %s on %s: %w", h.backend.Name(), c.Name, err)
 	}
 	return statevec.FromAmplitudes(amps), nil
 }

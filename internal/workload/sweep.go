@@ -37,10 +37,10 @@ func runSweep(h *Harness, r *Result, circuits []*circuit.Circuit, globals int,
 	for i, c := range circuits {
 		plan, err := schedule.Build(c, sweepScheduleOptions(c.N-globals))
 		if err != nil {
-			return fmt.Errorf("schedule sweep %d: %v", i, err)
+			return fmt.Errorf("schedule sweep %d: %w", i, err)
 		}
 		if _, err := plan.AccessMap(); err != nil {
-			return fmt.Errorf("access map sweep %d: %v", i, err)
+			return fmt.Errorf("access map sweep %d: %w", i, err)
 		}
 		v, err := h.State(c)
 		if err != nil {

@@ -183,16 +183,16 @@ func Filter(pattern string) ([]Workload, error) {
 func Run(w Workload, p Params) (*Result, error) {
 	inst, err := w.Build(p)
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: build: %v", w.Name, err)
+		return nil, fmt.Errorf("workload %s: build: %w", w.Name, err)
 	}
 	h, err := NewHarness(p)
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: %v", w.Name, err)
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
 	start := time.Now()
 	res, err := inst.Run(h)
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: run: %v", w.Name, err)
+		return nil, fmt.Errorf("workload %s: run: %w", w.Name, err)
 	}
 	res.Elapsed = time.Since(start)
 	res.Workload = w.Name
